@@ -1,0 +1,134 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``test_fig*.py`` file in this directory regenerates one table or figure
+of the paper at a reduced scale (the paper's instances have 10^7 item
+occurrences and up to 128,000 distinct items; the defaults here are ~100x
+smaller so the whole suite runs in minutes on a laptop).  Each harness prints
+the same series the paper plots — the absolute numbers differ (Python +
+simulator vs C + a real GTX 285) but the *shape* comparisons (who wins, who
+blows up, where the crossover happens) are the reproduction target; see
+EXPERIMENTS.md for the side-by-side record.
+
+Scale factors can be raised via the environment variables
+``REPRO_BENCH_TOTAL_ITEMS`` and ``REPRO_BENCH_SCALE`` for a closer (slower)
+reproduction.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.apriori import AprioriMiner
+from repro.baselines.eclat import EclatMiner
+from repro.baselines.fpgrowth import FPGrowthMiner
+from repro.datasets.synthetic import generate_density_instance
+from repro.datasets.transactions import TransactionDatabase
+from repro.mining.pair_mining import BatmapPairMiner
+
+__all__ = [
+    "BENCH_TOTAL_ITEMS",
+    "BENCH_SCALE",
+    "SeriesTable",
+    "make_instance",
+    "time_call",
+    "run_batmap_miner",
+    "run_apriori_pairs",
+    "run_fpgrowth_pairs",
+    "run_eclat_pairs",
+    "TIME_LIMIT_SECONDS",
+]
+
+#: Total instance size (item occurrences); the paper uses 10_000_000.
+BENCH_TOTAL_ITEMS = int(os.environ.get("REPRO_BENCH_TOTAL_ITEMS", 60_000))
+#: Generic down-scale factor applied to the paper's item counts.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", 0.01))
+#: The paper cancels runs after 1800 CPU seconds; the scaled suite uses a
+#: proportionally smaller censoring limit.
+TIME_LIMIT_SECONDS = float(os.environ.get("REPRO_BENCH_TIME_LIMIT", 20.0))
+
+
+@dataclass
+class SeriesTable:
+    """A labelled table of series, printed in the paper's row/column layout."""
+
+    title: str
+    x_label: str
+    x_values: list = field(default_factory=list)
+    series: dict[str, list] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, name: str, values: list) -> None:
+        self.series[name] = values
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        width = 14
+        header = f"{self.x_label:>{width}} | " + " | ".join(
+            f"{name:>{width}}" for name in self.series
+        )
+        lines = [f"== {self.title} ==", header, "-" * len(header)]
+        for i, x in enumerate(self.x_values):
+            cells = []
+            for name in self.series:
+                value = self.series[name][i]
+                if isinstance(value, float):
+                    cells.append(f"{value:>{width}.4g}")
+                else:
+                    cells.append(f"{str(value):>{width}}")
+            lines.append(f"{str(x):>{width}} | " + " | ".join(cells))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print("\n" + self.render() + "\n")
+
+
+def make_instance(n_items: int, density: float = 0.05,
+                  total_items: int | None = None, seed: int = 0) -> TransactionDatabase:
+    """The paper's synthetic instance, at benchmark scale."""
+    return generate_density_instance(
+        n_items=n_items,
+        density=density,
+        total_items=total_items or BENCH_TOTAL_ITEMS,
+        rng=seed,
+    )
+
+
+def time_call(fn, *args, **kwargs) -> tuple[float, object]:
+    """Wall-clock one call; returns (seconds, result)."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+# --------------------------------------------------------------------------- #
+# Miner adapters used by several figures
+# --------------------------------------------------------------------------- #
+def run_batmap_miner(db: TransactionDatabase, min_support: int = 1, seed: int = 0):
+    """Run the batmap pipeline; returns its MiningReport."""
+    miner = BatmapPairMiner(tile_size=512)
+    return miner.mine(db, min_support=min_support, rng=seed)
+
+
+def run_apriori_pairs(db: TransactionDatabase, min_support: int = 1):
+    miner = AprioriMiner(max_size=2)
+    result = miner.mine(db.transactions, db.n_items, min_support)
+    return result
+
+
+def run_fpgrowth_pairs(db: TransactionDatabase, min_support: int = 1):
+    miner = FPGrowthMiner(max_size=2)
+    pairs = miner.mine_pairs(db.transactions, db.n_items, min_support)
+    return miner, pairs
+
+
+def run_eclat_pairs(db: TransactionDatabase, min_support: int = 1):
+    miner = EclatMiner(max_size=2)
+    return miner.mine_pairs(db.transactions, db.n_items, min_support)

@@ -1,0 +1,128 @@
+"""E10 — ablations over the design choices DESIGN.md calls out.
+
+These are not figures from the paper; they quantify the individual design
+decisions the paper argues for qualitatively:
+
+* **tile size k** (Section III-C): smaller tiles mean more kernel launches
+  (watchdog-friendliness costs launch overhead), identical results;
+* **work-group size** (Section III-B): the 16x16 choice balances shared-memory
+  usage against coalescing width;
+* **width sorting** (Section III-C): sorting batmaps by width reduces the
+  wasted comparisons inside 16-wide groups;
+* **range multiplier / MaxLoop** (Section II): smaller hash ranges save space
+  but produce more failed insertions for the repair path to absorb;
+* **symmetry pruning** (Section III-C): the upper-triangle schedule does about
+  half the work of the full n x n schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import SeriesTable, make_instance
+from repro.analysis.theory import measure_insertion_behaviour
+from repro.core.collection import BatmapCollection
+from repro.core.config import BatmapConfig
+from repro.kernels.driver import run_batmap_pair_counts
+from repro.kernels.tiling import TileScheduler
+
+N_ITEMS = 96
+DENSITY = 0.05
+
+
+def _collection(seed: int = 5, sort_by_size: bool = True) -> BatmapCollection:
+    db = make_instance(N_ITEMS, DENSITY, total_items=30_000, seed=seed)
+    return BatmapCollection.build(db.tidlists(), db.n_transactions, rng=seed,
+                                  sort_by_size=sort_by_size)
+
+
+class TestTileSizeAblation:
+    def test_results_identical_and_launches_scale(self):
+        coll = _collection()
+        table = SeriesTable(title="Ablation — tile size k", x_label="tile_size")
+        tile_sizes = [16, 32, 96]
+        table.x_values = tile_sizes
+        launches, overhead, seconds = [], [], []
+        reference = None
+        for k in tile_sizes:
+            run = run_batmap_pair_counts(coll, tile_size=k)
+            if reference is None:
+                reference = run.counts
+            else:
+                assert np.array_equal(run.counts, reference)
+            launches.append(run.simulator.totals.launches)
+            overhead.append(sum(r.timing.launch_overhead_seconds for r in run.simulator.records))
+            seconds.append(run.device_seconds)
+        table.add("launches", launches)
+        table.add("launch_overhead_s", overhead)
+        table.add("device_s", seconds)
+        table.show()
+        assert launches[0] > launches[-1]
+        assert overhead[0] > overhead[-1]
+
+
+class TestWorkGroupAblation:
+    def test_results_identical_across_group_sizes(self):
+        coll = _collection()
+        reference = None
+        shared_bytes = {}
+        for wg in ((8, 8), (16, 16)):
+            run = run_batmap_pair_counts(coll, tile_size=96, work_group=wg)
+            if reference is None:
+                reference = run.counts
+            else:
+                assert np.array_equal(run.counts, reference)
+            shared_bytes[wg] = run.simulator.combined_stats().shared_bytes
+        # Larger work groups stage more data through shared memory per load,
+        # but totals stay in the same ballpark (same underlying comparisons).
+        assert shared_bytes[(16, 16)] > 0 and shared_bytes[(8, 8)] > 0
+
+
+class TestWidthSortingAblation:
+    def test_sorting_reduces_device_bytes(self):
+        sorted_coll = _collection(seed=6, sort_by_size=True)
+        unsorted_coll = _collection(seed=6, sort_by_size=False)
+        sorted_run = run_batmap_pair_counts(sorted_coll, tile_size=96)
+        unsorted_run = run_batmap_pair_counts(unsorted_coll, tile_size=96)
+        # Sorting groups similar widths together so 16-wide groups waste fewer
+        # word comparisons on the padding of one long batmap.
+        assert sorted_run.total_device_bytes <= unsorted_run.total_device_bytes
+
+
+class TestSymmetryPruning:
+    def test_upper_triangle_halves_the_tiles(self):
+        scheduler = TileScheduler(1024, 64)
+        assert scheduler.n_tiles == 136           # 16 * 17 / 2
+        assert scheduler.n_tiles_full == 256
+        assert scheduler.n_tiles / scheduler.n_tiles_full < 0.56
+
+
+class TestRangeMultiplierAblation:
+    def test_space_vs_failures_tradeoff(self):
+        table = SeriesTable(title="Ablation — hash range multiplier", x_label="multiplier")
+        multipliers = [1.0, 2.0, 4.0]
+        table.x_values = multipliers
+        failure_rates, ranges = [], []
+        for mult in multipliers:
+            exp = measure_insertion_behaviour(400, 8192, n_sets=4,
+                                              range_multiplier=mult, rng=7)
+            failure_rates.append(round(exp.failure_rate, 4))
+            cfg = BatmapConfig(range_multiplier=max(1.0, mult))
+            ranges.append(cfg.range_for_size(400, 8192))
+        table.add("failure_rate", failure_rates)
+        table.add("hash_range", ranges)
+        table.show()
+        assert failure_rates[0] >= failure_rates[-1]
+        assert ranges[0] <= ranges[-1]
+
+    def test_tiny_max_loop_increases_failures(self):
+        strict = BatmapConfig(max_loop=1, range_multiplier=1.0)
+        roomy = BatmapConfig(range_multiplier=2.0)
+        db = make_instance(32, 0.3, total_items=20_000, seed=8)
+        from repro.mining.preprocess import preprocess
+        strict_failures = sum(len(v) for v in
+                              preprocess(db, config=strict, rng=0).failed_insertions().values())
+        roomy_failures = sum(len(v) for v in
+                             preprocess(db, config=roomy, rng=0).failed_insertions().values())
+        assert strict_failures >= roomy_failures

@@ -1,0 +1,83 @@
+"""Figure 10 — computation time on growing prefixes of WebDocs.
+
+Paper setup: prefixes of the WebDocs dataset of 1,600 to 25,600 transactions;
+the number of distinct items grows rapidly with the prefix, which is what
+breaks Apriori first (memory trashing) while the GPU batmap pipeline solves
+the largest prefix.  The real WebDocs is not redistributable, so the harness
+uses the Zipfian surrogate of :mod:`repro.datasets.webdocs` (the substitution
+is recorded in DESIGN.md); the prefix sizes are scaled down accordingly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import (
+    SeriesTable,
+    TIME_LIMIT_SECONDS,
+    run_apriori_pairs,
+    run_batmap_miner,
+    run_fpgrowth_pairs,
+    time_call,
+)
+from repro.datasets.webdocs import generate_webdocs_like, vocabulary_growth
+
+PREFIX_SIZES = [40, 80, 160]
+VOCABULARY = 15_000
+MIN_SUPPORT = 2
+
+
+def webdocs_series() -> SeriesTable:
+    base = generate_webdocs_like(max(PREFIX_SIZES), vocabulary_size=VOCABULARY,
+                                 mean_length=50.0, rng=0)
+    growth = dict(vocabulary_growth(base, PREFIX_SIZES))
+    table = SeriesTable(
+        title="Figure 10 (scaled, surrogate) — computation time vs WebDocs prefix size",
+        x_label="prefix",
+    )
+    table.x_values = list(PREFIX_SIZES)
+    distinct, apriori_t, fp_t, gpu_t = [], [], [], []
+    for size in PREFIX_SIZES:
+        prefix = base.prefix(size)
+        filtered, _ = prefix.filter_by_support(MIN_SUPPORT)
+        distinct.append(growth[size])
+        t_apriori, _ = time_call(run_apriori_pairs, filtered, MIN_SUPPORT)
+        t_fp, _ = time_call(run_fpgrowth_pairs, filtered, MIN_SUPPORT)
+        report = run_batmap_miner(filtered, min_support=MIN_SUPPORT)
+        apriori_t.append(min(t_apriori, TIME_LIMIT_SECONDS))
+        fp_t.append(min(t_fp, TIME_LIMIT_SECONDS))
+        gpu_t.append(report.counting_seconds + report.preprocess_seconds
+                     + report.postprocess_seconds)
+    table.add("distinct_items", distinct)
+    table.add("apriori_s", apriori_t)
+    table.add("fpgrowth_s", fp_t)
+    table.add("gpu_batmap_s", gpu_t)
+    table.note("surrogate WebDocs: Zipfian vocabulary, log-normal document lengths")
+    return table
+
+
+class TestFigure10:
+    def test_report(self):
+        table = webdocs_series()
+        table.show()
+        distinct = table.series["distinct_items"]
+        apriori = table.series["apriori_s"]
+        # The defining property of WebDocs: the vocabulary keeps growing with
+        # the prefix, which is what drives Apriori's blow-up in the paper.
+        assert distinct[-1] > 2 * distinct[0]
+        # Apriori's time grows faster than the prefix size (super-linear).
+        prefix_ratio = PREFIX_SIZES[-1] / PREFIX_SIZES[0]
+        assert apriori[-1] / max(apriori[0], 1e-9) > prefix_ratio or \
+            apriori[-1] >= TIME_LIMIT_SECONDS
+
+    def test_vocabulary_growth_is_monotone(self):
+        db = generate_webdocs_like(200, vocabulary_size=VOCABULARY, rng=1)
+        growth = vocabulary_growth(db, [25, 50, 100, 200])
+        counts = [g[1] for g in growth]
+        assert counts == sorted(counts)
+
+    def test_benchmark_batmap_webdocs_prefix(self, benchmark):
+        base = generate_webdocs_like(60, vocabulary_size=VOCABULARY, mean_length=50.0, rng=2)
+        filtered, _ = base.filter_by_support(MIN_SUPPORT)
+        report = benchmark(lambda: run_batmap_miner(filtered, min_support=MIN_SUPPORT))
+        assert report.total_seconds > 0

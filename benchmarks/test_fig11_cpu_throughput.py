@@ -1,0 +1,87 @@
+"""Figure 11 — memory throughput of the CPU batmap comparison vs core count.
+
+Paper setup: two 20 MB arrays compared with the SWAR counting technique 300
+times, on 1, 2, 4 and 8 cores of the dual Xeon 5462; throughput saturates
+around 4 cores and never exceeds 7.6 GB/s — almost a factor 5 below the
+36.2 GB/s the GPU sustains on the same comparison.
+
+Harness: the single-core point is *measured* (NumPy SWAR over 8 MB arrays by
+default); the multi-core points come from the bandwidth-saturation model of
+:mod:`repro.parallel.cpu`.  The GPU reference line is the modelled device
+throughput of a representative pair-count run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import SeriesTable, make_instance, run_batmap_miner
+from repro.gpu.device import XEON_5462
+from repro.parallel.cpu import (
+    cpu_throughput_series,
+    measure_single_core_throughput,
+    model_multicore_throughput,
+)
+
+CORE_COUNTS = (1, 2, 4, 8)
+N_WORDS = 1_000_000  # 4 MB per operand; the paper uses 20 MB
+
+
+#: Single-core throughput of the paper's compiled (gcc -O3) SWAR loop,
+#: Figure 11's 1-core data point (~2.6 GB/s).  Used to show that the
+#: saturation plateau follows from the socket's memory bandwidth.
+PAPER_C_SINGLE_CORE_GBPS = 2.6
+
+
+def throughput_series() -> SeriesTable:
+    series = cpu_throughput_series(core_counts=CORE_COUNTS, n_words=N_WORDS, rng=0)
+    gpu_report = run_batmap_miner(make_instance(160, 0.05, seed=21))
+    table = SeriesTable(
+        title="Figure 11 (scaled) — CPU batmap-comparison throughput vs cores",
+        x_label="#cores",
+    )
+    table.x_values = list(CORE_COUNTS)
+    table.add("numpy_GB_per_s", [round(p.gbytes_per_second, 3) for p in series])
+    table.add("c_model_GB_per_s",
+              [round(model_multicore_throughput(PAPER_C_SINGLE_CORE_GBPS, c), 3)
+               for c in CORE_COUNTS])
+    table.add("gpu_GB_per_s", [round(gpu_report.achieved_bandwidth_gbps, 3)] * len(CORE_COUNTS))
+    table.note("numpy series: 1-core point measured here, multi-core via the saturation model")
+    table.note("c_model series: the paper's compiled 1-core rate (2.6 GB/s) through the same "
+               "bandwidth-saturation model — this is where the 4-core plateau appears")
+    table.note(f"CPU bandwidth ceiling: {XEON_5462.memory_bandwidth_gbps} GB/s socket peak")
+    return table
+
+
+class TestFigure11:
+    def test_report(self):
+        table = throughput_series()
+        table.show()
+        numpy_series = table.series["numpy_GB_per_s"]
+        c_model = table.series["c_model_GB_per_s"]
+        gpu = table.series["gpu_GB_per_s"][0]
+        # The compiled-rate series saturates: the 4 -> 8 core step gains far
+        # less than the 1 -> 2 step, and the plateau respects the bandwidth cap
+        # (the paper's <= 7.6 GB/s on a 12.8 GB/s socket).
+        assert (c_model[3] - c_model[2]) < (c_model[1] - c_model[0])
+        assert max(c_model) <= XEON_5462.memory_bandwidth_gbps * 0.6 + 1e-9
+        # The interpreted NumPy implementation is slower per core, so its
+        # scaled series may not reach the ceiling; it must stay below it.
+        assert max(numpy_series) <= XEON_5462.memory_bandwidth_gbps * 0.6 + 1e-9
+        # The modelled GPU throughput sits well above the CPU plateau (paper: ~5x).
+        assert gpu > max(c_model) / 2
+
+    def test_single_core_measurement_is_stable(self):
+        a = measure_single_core_throughput(n_words=N_WORDS // 4, repeats=3, rng=1)
+        b = measure_single_core_throughput(n_words=N_WORDS // 4, repeats=3, rng=2)
+        ratio = a.gbytes_per_second / b.gbytes_per_second
+        assert 0.2 < ratio < 5.0  # same order of magnitude across runs
+
+    def test_benchmark_swar_comparison(self, benchmark):
+        import numpy as np
+        from repro.core.swar import count_matches
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 2**32, size=N_WORDS, dtype=np.uint32)
+        y = rng.integers(0, 2**32, size=N_WORDS, dtype=np.uint32)
+        total = benchmark(lambda: count_matches(x, y))
+        assert total >= 0

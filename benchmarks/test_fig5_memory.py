@@ -1,0 +1,96 @@
+"""Figure 5 — memory usage for varying number of distinct items.
+
+Paper setup: instance size fixed at 10 million item occurrences, density 5%,
+number of distinct items n swept from 4,000 to 128,000.  Apriori's memory is
+quadratic in n and exceeds the machine's 6 GB before n = 64,000; FP-growth
+and the GPU/batmap pipeline scale (roughly) linearly.
+
+This harness reports two things:
+
+* measured memory of the scaled-down runs: peak candidate-structure bytes for
+  Apriori, FP-tree model bytes for FP-growth, and actual batmap buffer bytes
+  for the GPU pipeline;
+* the analytic :class:`MiningMemoryModel` evaluated at the paper's full scale,
+  which is where the 6 GB crossover appears.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import BENCH_TOTAL_ITEMS, SeriesTable, make_instance, run_batmap_miner
+from repro.analysis.space import MiningMemoryModel
+from repro.baselines.apriori import AprioriMiner
+from repro.baselines.fpgrowth import FPGrowthMiner
+from repro.mining.preprocess import preprocess
+
+#: scaled sweep of the number of distinct items (paper: 4k .. 128k)
+N_ITEMS_SWEEP = [40, 80, 160, 320, 640]
+DENSITY = 0.05
+
+
+def measured_memory_series() -> SeriesTable:
+    table = SeriesTable(
+        title="Figure 5 (scaled) — memory usage vs number of distinct items",
+        x_label="#items",
+    )
+    table.x_values = list(N_ITEMS_SWEEP)
+    apriori_mem, fp_mem, gpu_mem = [], [], []
+    for n in N_ITEMS_SWEEP:
+        db = make_instance(n, DENSITY, seed=n)
+        apriori = AprioriMiner(max_size=2).mine(db.transactions, db.n_items, 1)
+        apriori_mem.append(apriori.peak_memory_bytes)
+        fp = FPGrowthMiner(max_size=2)
+        fp.mine_pairs(db.transactions, db.n_items, 1)
+        fp_mem.append(fp.peak_memory_bytes)
+        pre = preprocess(db, rng=0)
+        gpu_mem.append(pre.batmap_bytes)
+    table.add("apriori_B", apriori_mem)
+    table.add("fpgrowth_B", fp_mem)
+    table.add("gpu_batmap_B", gpu_mem)
+    table.note(f"instance size {BENCH_TOTAL_ITEMS} occurrences, density {DENSITY}")
+    return table
+
+
+def paper_scale_model_series() -> SeriesTable:
+    table = SeriesTable(
+        title="Figure 5 (paper scale, analytic model) — memory in GB",
+        x_label="#items",
+    )
+    sweep = [4_000, 8_000, 16_000, 32_000, 64_000, 128_000]
+    table.x_values = sweep
+    model = MiningMemoryModel(total_items=10_000_000, n_items=4_000, density=0.05)
+    series = model.series(sweep)
+    gib = 2**30
+    table.add("apriori_GB", [round(v / gib, 2) for v in series["apriori"]])
+    table.add("fpgrowth_GB", [round(v / gib, 2) for v in series["fpgrowth"]])
+    table.add("gpu_batmap_GB", [round(v / gib, 2) for v in series["gpu_batmap"]])
+    table.note("Apriori exceeds the paper machine's 6 GB RAM below n = 64,000")
+    return table
+
+
+class TestFigure5:
+    def test_report(self):
+        measured = measured_memory_series()
+        measured.show()
+        model = paper_scale_model_series()
+        model.show()
+        # Shape assertions (the reproduction criteria from DESIGN.md / E1):
+        apriori = measured.series["apriori_B"]
+        gpu = measured.series["gpu_batmap_B"]
+        fp = measured.series["fpgrowth_B"]
+        n_ratio = N_ITEMS_SWEEP[-1] / N_ITEMS_SWEEP[0]
+        apriori_growth = apriori[-1] / apriori[0]
+        assert apriori_growth > n_ratio                    # super-linear (quadratic) in n
+        assert gpu[-1] / gpu[0] < 4 * n_ratio              # ~linear in n
+        assert fp[-1] / fp[0] < apriori_growth / 4         # far below Apriori's blow-up
+        # Paper-scale crossover: Apriori alone breaks the 6 GB budget.
+        paper = paper_scale_model_series()
+        assert paper.series["apriori_GB"][-2] > 6.0        # n = 64,000
+        assert max(paper.series["fpgrowth_GB"]) < 6.0
+        assert max(paper.series["gpu_batmap_GB"]) < 6.0
+
+    def test_benchmark_batmap_preprocess_memory(self, benchmark):
+        db = make_instance(320, DENSITY, seed=1)
+        result = benchmark(lambda: preprocess(db, rng=0).batmap_bytes)
+        assert result > 0

@@ -1,0 +1,78 @@
+"""Figure 9 — relative speed-up of the CPU miners vs number of computation units.
+
+Paper setup: instance of 10 million occurrences, 4000 items, density 5%;
+parallel execution on i cores simulated by splitting the instance into i
+equal parts and taking the maximum part time; i in {1, 2, 4, 8}.  Finding:
+neither Apriori nor FP-growth benefits noticeably from more than four cores
+(consistent with earlier work on parallel Apriori).
+
+Scaled harness: 200 items, same splitting methodology.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import SeriesTable, make_instance
+from repro.baselines.apriori import AprioriMiner
+from repro.baselines.fpgrowth import FPGrowthMiner
+from repro.parallel.scaling import measure_split_scaling, relative_speedups
+
+CORE_COUNTS = (1, 2, 4, 8)
+N_ITEMS = 200
+DENSITY = 0.05
+
+
+def core_scaling_series() -> SeriesTable:
+    db = make_instance(N_ITEMS, DENSITY, seed=11)
+    table = SeriesTable(
+        title="Figure 9 (scaled) — relative speed-up vs number of computation units",
+        x_label="#cores",
+    )
+    table.x_values = list(CORE_COUNTS)
+
+    apriori_points = measure_split_scaling(
+        lambda t, n, s: AprioriMiner(max_size=2).mine(t, n, s),
+        db, min_support=1, core_counts=CORE_COUNTS)
+    fp_points = measure_split_scaling(
+        lambda t, n, s: FPGrowthMiner(max_size=2).mine_pairs(t, n, s),
+        db, min_support=1, core_counts=CORE_COUNTS)
+
+    apriori_speedup = relative_speedups(apriori_points)
+    fp_speedup = relative_speedups(fp_points)
+    table.add("theoretical", list(CORE_COUNTS))
+    table.add("apriori", [round(apriori_speedup[c], 2) for c in CORE_COUNTS])
+    table.add("fpgrowth", [round(fp_speedup[c], 2) for c in CORE_COUNTS])
+    table.note("parallelism simulated by instance splitting (max part time), as in the paper")
+    return table
+
+
+class TestFigure9:
+    def test_report(self):
+        table = core_scaling_series()
+        table.show()
+        apriori = dict(zip(table.x_values, table.series["apriori"]))
+        fp = dict(zip(table.x_values, table.series["fpgrowth"]))
+        for series in (apriori, fp):
+            # splitting the instance always stays below the ideal linear speed-up
+            assert series[8] < 0.85 * 8.0
+            # and the parallel efficiency (speed-up per core) keeps degrading
+            # as cores are added — the qualitative finding behind the paper's
+            # "no noticeable benefit beyond four cores".  (The hard plateau at
+            # exactly 4 cores depends on Borgelt's C implementations' serial
+            # fraction and is not asserted here; see EXPERIMENTS.md E5.)
+            efficiency = [series[c] / c for c in (1, 2, 4, 8)]
+            assert efficiency[1] <= efficiency[0] + 0.05
+            assert efficiency[2] <= efficiency[1] + 0.05
+            assert efficiency[3] <= efficiency[2] + 0.05
+
+    def test_benchmark_apriori_split4(self, benchmark):
+        db = make_instance(N_ITEMS, DENSITY, seed=12)
+        parts = db.split(4)
+
+        def run_all_parts():
+            return [AprioriMiner(max_size=2).mine(p.transactions, p.n_items, 1)
+                    for p in parts]
+
+        results = benchmark(run_all_parts)
+        assert len(results) == 4

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Sparse boolean matrix multiplication and join-project queries with batmaps.
+
+The paper's introduction motivates set intersection through two database
+problems: boolean matrix products (does row i of M share a non-zero column
+with column j of M'?) and join-project queries (π_{a,c}(R ⋈ S) with duplicate
+elimination).  This example exercises both through the library's
+``repro.matrix`` layer and checks every result against a dense reference.
+
+Run with:  python examples/boolean_matrix_multiplication.py
+"""
+
+import numpy as np
+
+from repro.matrix import (
+    Relation,
+    SparseBooleanMatrix,
+    join_project,
+    multiply_batmap,
+    multiply_batmap_device,
+    multiply_dense,
+    multiply_merge,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+
+    # --- boolean matrix product ----------------------------------------------
+    a = SparseBooleanMatrix.random(60, 400, density=0.06, rng=rng)
+    b = SparseBooleanMatrix.random(400, 45, density=0.06, rng=rng)
+    print(f"M : {a.n_rows}x{a.n_cols}, {a.nnz} non-zeros")
+    print(f"M': {b.n_rows}x{b.n_cols}, {b.nnz} non-zeros")
+
+    reference = multiply_dense(a, b)
+    via_merge = multiply_merge(a, b)
+    via_batmap = multiply_batmap(a, b, rng=0)
+    product_device, device_seconds = multiply_batmap_device(a, b, rng=0, tile_size=512)
+
+    assert np.array_equal(via_merge, reference)
+    assert np.array_equal(via_batmap, reference)
+    assert np.array_equal(product_device, reference)
+    nonzero_pairs = int(np.count_nonzero(reference))
+    print(f"witness-count product verified across all 4 implementations ✓")
+    print(f"  non-empty output cells : {nonzero_pairs} / {reference.size}")
+    print(f"  modelled device time   : {device_seconds * 1e3:.3f} ms")
+
+    # --- join-project ----------------------------------------------------------
+    # R(author, paper), S(paper, venue): which (author, venue) pairs exist?
+    n_authors, n_papers, n_venues = 40, 300, 12
+    r_pairs = np.column_stack([rng.integers(0, n_authors, 500),
+                               rng.integers(0, n_papers, 500)])
+    s_pairs = np.column_stack([rng.integers(0, n_papers, 400),
+                               rng.integers(0, n_venues, 400)])
+    r = Relation(r_pairs, n_authors, n_papers)
+    s = Relation(s_pairs, n_papers, n_venues)
+    result_batmap = join_project(r, s, use_batmaps=True, rng=1)
+    result_exact = join_project(r, s, use_batmaps=False)
+    assert result_batmap == result_exact
+    print(f"\njoin-project π(author,venue)(R ⋈ S): {len(result_batmap)} result tuples "
+          f"(batmap == dense reference ✓)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setup shim so `pip install -e .` / `python setup.py develop` work alongside pyproject.toml."""
+from setuptools import setup
+
+setup()

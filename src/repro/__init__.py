@@ -1,0 +1,41 @@
+"""repro — a reproduction of "A New Data Layout for Set Intersection on GPUs".
+
+The package implements the BATMAP set layout of Amossen & Pagh (IPDPS 2011)
+together with everything needed to regenerate the paper's evaluation on a
+machine without a GPU: a deterministic OpenCL-style GPU simulator, the CPU
+baselines (Apriori, FP-growth, Eclat, merge intersection, vertical bitmaps),
+synthetic dataset generators, and the frequent-pair-mining pipeline.
+
+Quickstart::
+
+    import numpy as np
+    from repro import BatmapCollection, count_common
+
+    sets = [np.array([1, 5, 9, 12]), np.array([5, 9, 42])]
+    coll = BatmapCollection.build(sets, universe_size=64, rng=0)
+    assert coll.count_pair(0, 1) == 2
+"""
+
+from repro._version import __version__
+from repro.core import (
+    Batmap,
+    BatmapCollection,
+    BatmapConfig,
+    DEFAULT_CONFIG,
+    HashFamily,
+    build_batmap,
+    count_common,
+    exact_intersection_size,
+)
+
+__all__ = [
+    "__version__",
+    "Batmap",
+    "BatmapCollection",
+    "BatmapConfig",
+    "DEFAULT_CONFIG",
+    "HashFamily",
+    "build_batmap",
+    "count_common",
+    "exact_intersection_size",
+]

@@ -1,0 +1,41 @@
+"""Analytical models: cuckoo-insertion theory, space usage, throughput accounting."""
+
+from repro.analysis.space import (
+    MiningMemoryModel,
+    batmap_bytes,
+    bitmap_bytes,
+    collection_bytes,
+    information_theoretic_bits,
+    sorted_list_bytes,
+)
+from repro.analysis.theory import (
+    InsertionExperiment,
+    expected_moves_bound,
+    failure_probability_bound,
+    measure_insertion_behaviour,
+    recommended_range,
+)
+from repro.analysis.throughput import (
+    ThroughputReport,
+    compute_throughput,
+    pairwise_input_bytes,
+    pairwise_input_elements,
+)
+
+__all__ = [
+    "failure_probability_bound",
+    "expected_moves_bound",
+    "recommended_range",
+    "InsertionExperiment",
+    "measure_insertion_behaviour",
+    "information_theoretic_bits",
+    "batmap_bytes",
+    "bitmap_bytes",
+    "sorted_list_bytes",
+    "collection_bytes",
+    "MiningMemoryModel",
+    "ThroughputReport",
+    "compute_throughput",
+    "pairwise_input_bytes",
+    "pairwise_input_elements",
+]

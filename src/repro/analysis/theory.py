@@ -1,0 +1,139 @@
+"""Theoretical bounds from Section II-B of the paper.
+
+The cuckoo-style 2-of-3 insertion has two quantities of interest:
+
+* the probability that an insertion *fails* (the transcript revisits an
+  element copy twice), bounded by ``sum_k (2n/r)^k k^2 / (n r) = O((eps^3 n r)^{-1})``
+  when ``r >= (2 + eps) n``;
+* the expected number of element moves per successful insertion, bounded by
+  ``sum_{k'} 2 (2n/r)^{k'/3 - 2} = O(1/eps)``.
+
+The functions below evaluate those bounds numerically (they are used by the
+analysis notebooks/benchmarks and tested against the empirical behaviour of
+the builder), and provide an empirical harness that measures the actual
+failure rate and move counts on random sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.builder import place_set
+from repro.core.config import BatmapConfig
+from repro.core.hashing import HashFamily
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.validation import require, require_positive
+
+__all__ = [
+    "failure_probability_bound",
+    "expected_moves_bound",
+    "recommended_range",
+    "InsertionExperiment",
+    "measure_insertion_behaviour",
+]
+
+
+def failure_probability_bound(n: int, r: int, *, max_terms: int | None = None) -> float:
+    """Upper bound on the probability that inserting into a set of size ``n`` fails.
+
+    Evaluates ``sum_{k=1}^{n} (2n/r)^k k^2 / (n r)`` directly (the paper then
+    relaxes it to ``O((eps^3 n r)^{-1})``).  Requires ``r > 2n`` for the series
+    to be meaningful; returns 1.0 when the bound exceeds one (vacuous).
+    """
+    require_positive(n, "n")
+    require_positive(r, "r")
+    if r <= 2 * n:
+        return 1.0
+    ratio = 2.0 * n / r
+    terms = max_terms if max_terms is not None else min(n, 10_000)
+    k = np.arange(1, terms + 1, dtype=np.float64)
+    total = float(np.sum(ratio ** k * k ** 2) / (n * r))
+    return min(1.0, total)
+
+
+def expected_moves_bound(n: int, r: int, *, max_terms: int = 10_000) -> float:
+    """Upper bound on the expected number of moves of one insertion.
+
+    Evaluates ``sum_{k'>=1} 2 (2n/r)^{k'/3 - 2}`` (finite because
+    ``2n/r < 1``); the paper states the result as ``O(1/eps)`` for
+    ``r >= (2 + eps) n``.
+    """
+    require_positive(n, "n")
+    require_positive(r, "r")
+    if r <= 2 * n:
+        return float("inf")
+    ratio = 2.0 * n / r
+    kprime = np.arange(1, max_terms + 1, dtype=np.float64)
+    return float(np.sum(2.0 * ratio ** (kprime / 3.0 - 2.0)))
+
+
+def recommended_range(n: int, eps: float = 0.5) -> int:
+    """Smallest power-of-two range satisfying ``r >= (2 + eps) n``."""
+    require(eps > 0, f"eps must be positive, got {eps}")
+    require_positive(n, "n")
+    from repro.utils.bits import next_power_of_two
+    return next_power_of_two(int(np.ceil((2.0 + eps) * n)))
+
+
+@dataclass
+class InsertionExperiment:
+    """Empirical construction statistics over many random sets."""
+
+    sets_built: int
+    elements_inserted: int
+    failures: int
+    total_moves: int
+    max_transcript: int
+
+    @property
+    def failure_rate(self) -> float:
+        return self.failures / self.elements_inserted if self.elements_inserted else 0.0
+
+    @property
+    def moves_per_insert(self) -> float:
+        return self.total_moves / self.elements_inserted if self.elements_inserted else 0.0
+
+
+def measure_insertion_behaviour(
+    set_size: int,
+    universe_size: int,
+    *,
+    n_sets: int = 20,
+    range_multiplier: float = 2.0,
+    rng: RngLike = None,
+) -> InsertionExperiment:
+    """Build ``n_sets`` random sets and report empirical failure/move statistics.
+
+    Used by the ablation benchmark to confirm the theory's qualitative
+    predictions: failures vanish and moves stay O(1) once ``r >= (2+eps)n``.
+    """
+    require_positive(set_size, "set_size")
+    require_positive(universe_size, "universe_size")
+    require(set_size <= universe_size, "set_size cannot exceed universe_size")
+    rng = make_rng(rng)
+    config = BatmapConfig(range_multiplier=max(2.0, range_multiplier))
+    shift = config.shift_for_universe(universe_size)
+    r = max(config.min_range(universe_size),
+            int(2 ** np.ceil(np.log2(max(1.0, range_multiplier * set_size)))))
+
+    failures = 0
+    total_moves = 0
+    max_transcript = 0
+    inserted = 0
+    for _ in range(n_sets):
+        family = HashFamily.create(universe_size, shift=shift, rng=rng)
+        elements = rng.choice(universe_size, size=set_size, replace=False)
+        placement = place_set(elements, family, r, config)
+        failures += len(placement.failed)
+        total_moves += placement.stats.total_moves
+        max_transcript = max(max_transcript, placement.stats.max_transcript)
+        inserted += set_size
+    return InsertionExperiment(
+        sets_built=n_sets,
+        elements_inserted=inserted,
+        failures=failures,
+        total_moves=total_moves,
+        max_transcript=max_transcript,
+    )

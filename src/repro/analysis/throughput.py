@@ -1,0 +1,84 @@
+"""Throughput accounting — the paper's "Throughput computation" paragraph.
+
+The paper derives two figures of merit from the pair-mining experiment with
+``n = 4000`` items, instance size ``10^7`` and density 5%:
+
+* **bytes per second** — the combined input to all set intersections is
+  ``n^2 * 3 * 2^ceil(log2(2 * avg))`` bytes; dividing by the GPU time gave
+  36.2 GB/s, a factor ~4.4 below the card's 159 GB/s peak;
+* **elements per second** — the combined number of set elements processed is
+  ``n^2 * avg``; dividing by the time gave 3.68e9 elements/s, which is 13-26x
+  the single-core merge baseline and ~2.2x its 8-core variant.
+
+The helpers below perform those computations for arbitrary runs so the
+benchmark harness can print the same table for the simulator and for the
+measured CPU baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.bits import next_power_of_two
+from repro.utils.validation import require_positive
+
+__all__ = ["ThroughputReport", "pairwise_input_bytes", "pairwise_input_elements",
+           "compute_throughput"]
+
+
+def pairwise_input_bytes(n_sets: int, avg_set_size: float) -> int:
+    """Combined batmap input size of all ``n^2`` intersections (paper's formula).
+
+    Each batmap is ``3 * 2^ceil(log2(2 * avg))`` bytes wide; every one of the
+    ``n^2`` ordered comparisons reads one batmap from each side, so the total
+    input volume is ``n^2`` times one batmap width.
+    """
+    require_positive(n_sets, "n_sets")
+    require_positive(avg_set_size, "avg_set_size")
+    width = 3 * next_power_of_two(int(2 * avg_set_size))
+    return n_sets * n_sets * width
+
+
+def pairwise_input_elements(n_sets: int, avg_set_size: float) -> int:
+    """Combined number of set elements fed to all ``n^2`` intersections."""
+    require_positive(n_sets, "n_sets")
+    require_positive(avg_set_size, "avg_set_size")
+    return int(n_sets * n_sets * avg_set_size)
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Throughput of one intersection workload."""
+
+    seconds: float
+    input_bytes: int
+    input_elements: int
+
+    @property
+    def gbytes_per_second(self) -> float:
+        return self.input_bytes / self.seconds / 1e9 if self.seconds > 0 else float("inf")
+
+    @property
+    def elements_per_second(self) -> float:
+        return self.input_elements / self.seconds if self.seconds > 0 else float("inf")
+
+    def fraction_of_peak(self, peak_bandwidth_gbps: float) -> float:
+        """Achieved bytes/s divided by the device's peak bandwidth."""
+        require_positive(peak_bandwidth_gbps, "peak_bandwidth_gbps")
+        return self.gbytes_per_second / peak_bandwidth_gbps
+
+    def speedup_over(self, other: "ThroughputReport") -> float:
+        """Ratio of element throughputs (how the paper compares GPU vs merge)."""
+        if other.elements_per_second == 0:
+            return float("inf")
+        return self.elements_per_second / other.elements_per_second
+
+
+def compute_throughput(n_sets: int, avg_set_size: float, seconds: float) -> ThroughputReport:
+    """Build a report from workload shape and elapsed (or modelled) time."""
+    require_positive(seconds, "seconds")
+    return ThroughputReport(
+        seconds=seconds,
+        input_bytes=pairwise_input_bytes(n_sets, avg_set_size),
+        input_elements=pairwise_input_elements(n_sets, avg_set_size),
+    )

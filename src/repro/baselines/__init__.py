@@ -1,0 +1,43 @@
+"""CPU baseline algorithms the paper compares against.
+
+* :mod:`repro.baselines.merge` — sorted-list merge intersection (Section IV-B).
+* :mod:`repro.baselines.hash_intersect` — hash-table lookup intersection
+  (the "initial idea" discussed in Section II).
+* :mod:`repro.baselines.bitmap` — uncompressed vertical bitmaps, the layout
+  used by the PBI-GPU algorithm of Fang et al. that the paper improves on.
+* :mod:`repro.baselines.counting` — horizontal pair counting with a
+  triangular count array (the memory-hungry approach Apriori relies on).
+* :mod:`repro.baselines.apriori` — levelwise Apriori frequent itemset mining.
+* :mod:`repro.baselines.fpgrowth` — FP-growth frequent itemset mining.
+* :mod:`repro.baselines.eclat` — Eclat vertical-format DFS mining.
+"""
+
+from repro.baselines.merge import (
+    intersect_sorted,
+    intersect_sorted_galloping,
+    intersection_size_sorted,
+)
+from repro.baselines.hash_intersect import HashSet, intersection_size_hash
+from repro.baselines.bitmap import BitmapIndex, bitmap_intersection_size
+from repro.baselines.counting import count_pairs_horizontal, triangle_index, triangle_size
+from repro.baselines.apriori import AprioriMiner, AprioriResult
+from repro.baselines.fpgrowth import FPGrowthMiner, FPTree
+from repro.baselines.eclat import EclatMiner
+
+__all__ = [
+    "intersect_sorted",
+    "intersect_sorted_galloping",
+    "intersection_size_sorted",
+    "HashSet",
+    "intersection_size_hash",
+    "BitmapIndex",
+    "bitmap_intersection_size",
+    "count_pairs_horizontal",
+    "triangle_index",
+    "triangle_size",
+    "AprioriMiner",
+    "AprioriResult",
+    "FPGrowthMiner",
+    "FPTree",
+    "EclatMiner",
+]

@@ -1,0 +1,98 @@
+"""Horizontal pair counting with a triangular count array.
+
+This is the "count occurrences of all pairs while scanning transactions"
+strategy discussed in the paper's introduction: time proportional to the
+*support* of each pair rather than to tidlist lengths, but space quadratic in
+the number of frequent items — exactly the behaviour that makes Apriori blow
+up in Figure 5.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.utils.validation import require, require_positive
+
+__all__ = ["triangle_size", "triangle_index", "count_pairs_horizontal", "PairCounter"]
+
+
+def triangle_size(n_items: int) -> int:
+    """Number of unordered item pairs ``{i, j}`` with ``i < j < n_items``."""
+    require(n_items >= 0, f"n_items must be >= 0, got {n_items}")
+    return n_items * (n_items - 1) // 2
+
+
+def triangle_index(i: int, j: int, n_items: int) -> int:
+    """Flat index of pair ``(i, j)`` (``i < j``) in the upper-triangle layout.
+
+    Row-major over rows ``i``, i.e. pairs are ordered
+    ``(0,1), (0,2), ..., (0,n-1), (1,2), ...``.
+    """
+    require(0 <= i < j < n_items, f"need 0 <= i < j < n_items, got ({i}, {j}, {n_items})")
+    return i * (2 * n_items - i - 1) // 2 + (j - i - 1)
+
+
+class PairCounter:
+    """Dense triangular array of pair counts over ``n_items`` items.
+
+    The memory cost is ``4 * n(n-1)/2`` bytes, which for ``n = 64,000`` items
+    is already ~8 GB — the quadratic wall the paper's Figure 5 shows Apriori
+    hitting on a 6 GB machine.
+    """
+
+    def __init__(self, n_items: int) -> None:
+        require_positive(n_items, "n_items")
+        self.n_items = n_items
+        self.counts = np.zeros(triangle_size(n_items), dtype=np.int64)
+
+    def add_transaction(self, items) -> None:
+        """Increment the count of every item pair present in one transaction."""
+        items = np.unique(np.asarray(list(items), dtype=np.int64))
+        if items.size and (items.min() < 0 or items.max() >= self.n_items):
+            raise ValueError("item id out of range")
+        if items.size < 2:
+            return
+        idx = [triangle_index(int(a), int(b), self.n_items)
+               for a, b in combinations(items.tolist(), 2)]
+        np.add.at(self.counts, np.asarray(idx, dtype=np.int64), 1)
+
+    def get(self, i: int, j: int) -> int:
+        if i == j:
+            raise ValueError("pair counts are defined for distinct items")
+        a, b = (i, j) if i < j else (j, i)
+        return int(self.counts[triangle_index(a, b, self.n_items)])
+
+    def frequent_pairs(self, min_support: int) -> list[tuple[int, int, int]]:
+        """All pairs with count >= min_support, as ``(i, j, support)`` with ``i < j``."""
+        out: list[tuple[int, int, int]] = []
+        hot = np.nonzero(self.counts >= min_support)[0]
+        for flat in hot.tolist():
+            i, j = self._unflatten(flat)
+            out.append((i, j, int(self.counts[flat])))
+        return out
+
+    def _unflatten(self, flat: int) -> tuple[int, int]:
+        """Inverse of :func:`triangle_index`."""
+        n = self.n_items
+        i = 0
+        offset = flat
+        row_len = n - 1
+        while offset >= row_len:
+            offset -= row_len
+            i += 1
+            row_len -= 1
+        return i, i + 1 + offset
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self.counts.nbytes)
+
+
+def count_pairs_horizontal(transactions, n_items: int, min_support: int = 1) -> list[tuple[int, int, int]]:
+    """Count all item pairs in a horizontal transaction list and filter by support."""
+    counter = PairCounter(n_items)
+    for t in transactions:
+        counter.add_transaction(t)
+    return counter.frequent_pairs(min_support)

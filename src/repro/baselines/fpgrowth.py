@@ -1,0 +1,240 @@
+"""FP-growth frequent itemset mining (Han, Pei, Yin & Mao, DMKD 2004).
+
+FP-growth compresses the transaction database into a prefix tree (the
+FP-tree) whose nodes are threaded per item through a header table, and then
+mines frequent itemsets recursively from *conditional* FP-trees without
+generating candidates.  It is the strongest CPU competitor in the paper's
+experiments: linear scaling in the number of distinct items (Figures 5-7) but
+sensitive to density (Figure 8).
+
+The implementation is a faithful, single-threaded Python version:
+
+* items inside a transaction are reordered by decreasing global frequency
+  (ties broken by item id) before insertion — the standard FP-tree trick that
+  maximises prefix sharing;
+* mining walks the header table from the least frequent item upwards,
+  building conditional pattern bases and recursing;
+* an optional ``max_size`` restricts the output (``max_size=2`` gives
+  frequent pair mining, the paper's case study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import require, require_positive
+
+__all__ = ["FPNode", "FPTree", "FPGrowthMiner"]
+
+
+@dataclass
+class FPNode:
+    """One node of an FP-tree: an item, its count and tree/sibling links."""
+
+    item: int
+    count: int = 0
+    parent: "FPNode | None" = None
+    children: dict[int, "FPNode"] = field(default_factory=dict)
+    next_same_item: "FPNode | None" = None  # header-table thread
+
+
+class FPTree:
+    """An FP-tree with its header table.
+
+    ``item_order`` maps item -> rank (0 = most frequent); transactions are
+    inserted with items sorted by rank so common prefixes share nodes.
+    """
+
+    def __init__(self, item_order: dict[int, int]) -> None:
+        self.root = FPNode(item=-1)
+        self.item_order = item_order
+        self.header: dict[int, FPNode] = {}
+        self.header_tail: dict[int, FPNode] = {}
+        self.node_count = 0
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_transactions(cls, transactions, min_support: int) -> tuple["FPTree", dict[int, int]]:
+        """Build the global FP-tree; returns the tree and the item support map."""
+        require_positive(min_support, "min_support")
+        supports: dict[int, int] = {}
+        cached = []
+        for t in transactions:
+            items = np.unique(np.asarray(t, dtype=np.int64)).tolist()
+            cached.append(items)
+            for item in items:
+                supports[item] = supports.get(item, 0) + 1
+        frequent = {i: s for i, s in supports.items() if s >= min_support}
+        # rank: most frequent first, ties by item id for determinism
+        ranked = sorted(frequent, key=lambda i: (-frequent[i], i))
+        item_order = {item: rank for rank, item in enumerate(ranked)}
+        tree = cls(item_order)
+        for items in cached:
+            filtered = [i for i in items if i in item_order]
+            filtered.sort(key=lambda i: item_order[i])
+            if filtered:
+                tree.insert(filtered, 1)
+        return tree, frequent
+
+    def insert(self, ordered_items: list[int], count: int) -> None:
+        """Insert one (already rank-ordered) transaction with multiplicity ``count``."""
+        node = self.root
+        for item in ordered_items:
+            child = node.children.get(item)
+            if child is None:
+                child = FPNode(item=item, parent=node)
+                node.children[item] = child
+                self.node_count += 1
+                # thread into the header list
+                if item not in self.header:
+                    self.header[item] = child
+                else:
+                    self.header_tail[item].next_same_item = child
+                self.header_tail[item] = child
+            child.count += count
+            node = child
+
+    # ------------------------------------------------------------------ #
+    def prefix_paths(self, item: int) -> list[tuple[list[int], int]]:
+        """Conditional pattern base of ``item``: (path items, count) per occurrence."""
+        paths: list[tuple[list[int], int]] = []
+        node = self.header.get(item)
+        while node is not None:
+            path: list[int] = []
+            parent = node.parent
+            while parent is not None and parent.item != -1:
+                path.append(parent.item)
+                parent = parent.parent
+            if path:
+                path.reverse()
+                paths.append((path, node.count))
+            node = node.next_same_item
+        return paths
+
+    def is_empty(self) -> bool:
+        return not self.root.children
+
+    def single_path(self) -> list[tuple[int, int]] | None:
+        """If the tree is a single chain, return its (item, count) list, else None."""
+        path = []
+        node = self.root
+        while node.children:
+            if len(node.children) > 1:
+                return None
+            node = next(iter(node.children.values()))
+            path.append((node.item, node.count))
+        return path
+
+    @property
+    def memory_bytes(self) -> int:
+        """Rough footprint model: ~90 bytes per node (Python object overhead excluded,
+        this models a C implementation's node of pointers + counters)."""
+        return 90 * self.node_count
+
+
+class FPGrowthMiner:
+    """Recursive FP-growth miner."""
+
+    def __init__(self, *, max_size: int | None = None) -> None:
+        if max_size is not None:
+            require(max_size >= 1, f"max_size must be >= 1, got {max_size}")
+        self.max_size = max_size
+        self.peak_memory_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    def mine(self, transactions, n_items: int, min_support: int) -> dict[tuple[int, ...], int]:
+        """Return every frequent itemset (as a sorted tuple) with its support."""
+        require_positive(n_items, "n_items")
+        tree, item_supports = FPTree.from_transactions(transactions, min_support)
+        if item_supports and max(item_supports) >= n_items:
+            raise ValueError("item id out of range")
+        self.peak_memory_bytes = tree.memory_bytes
+        out: dict[tuple[int, ...], int] = {}
+        for item, support in item_supports.items():
+            out[(int(item),)] = int(support)
+        self._grow(tree, [], min_support, out)
+        return out
+
+    def mine_pairs(self, transactions, n_items: int, min_support: int) -> dict[tuple[int, int], int]:
+        """Frequent pair mining only."""
+        miner = FPGrowthMiner(max_size=2)
+        result = miner.mine(transactions, n_items, min_support)
+        self.peak_memory_bytes = miner.peak_memory_bytes
+        return {k: v for k, v in result.items() if len(k) == 2}
+
+    # ------------------------------------------------------------------ #
+    def _grow(
+        self,
+        tree: FPTree,
+        suffix: list[int],
+        min_support: int,
+        out: dict[tuple[int, ...], int],
+    ) -> None:
+        if self.max_size is not None and len(suffix) >= self.max_size:
+            return
+        # Single-path shortcut: every combination of the path is frequent.
+        chain = tree.single_path()
+        if chain is not None:
+            self._emit_chain_combinations(chain, suffix, min_support, out)
+            return
+        # Walk items from least to most frequent (reverse rank order).
+        items = sorted(tree.header, key=lambda i: tree.item_order[i], reverse=True)
+        for item in items:
+            support = 0
+            node = tree.header[item]
+            while node is not None:
+                support += node.count
+                node = node.next_same_item
+            if support < min_support:
+                continue
+            new_suffix = sorted(suffix + [item])
+            if len(new_suffix) > 1:
+                out[tuple(int(x) for x in new_suffix)] = int(support)
+            if self.max_size is not None and len(new_suffix) >= self.max_size:
+                continue
+            # Build the conditional tree for this item.
+            paths = tree.prefix_paths(item)
+            cond_supports: dict[int, int] = {}
+            for path, count in paths:
+                for p in path:
+                    cond_supports[p] = cond_supports.get(p, 0) + count
+            cond_frequent = {i for i, s in cond_supports.items() if s >= min_support}
+            if not cond_frequent:
+                continue
+            ranked = sorted(cond_frequent, key=lambda i: (-cond_supports[i], i))
+            cond_tree = FPTree({it: rk for rk, it in enumerate(ranked)})
+            for path, count in paths:
+                filtered = [p for p in path if p in cond_frequent]
+                filtered.sort(key=lambda p: cond_tree.item_order[p])
+                if filtered:
+                    cond_tree.insert(filtered, count)
+            self.peak_memory_bytes = max(self.peak_memory_bytes,
+                                         tree.memory_bytes + cond_tree.memory_bytes)
+            self._grow(cond_tree, new_suffix, min_support, out)
+
+    def _emit_chain_combinations(
+        self,
+        chain: list[tuple[int, int]],
+        suffix: list[int],
+        min_support: int,
+        out: dict[tuple[int, ...], int],
+    ) -> None:
+        """Emit all combinations of a single-path tree (support = min count on the path).
+
+        Only combinations of size up to ``max_size - len(suffix)`` are
+        enumerated, so pair mining over a long chain stays linear/quadratic in
+        the chain length rather than exponential.
+        """
+        from itertools import combinations
+
+        frequent_chain = [(item, count) for item, count in chain if count >= min_support]
+        n = len(frequent_chain)
+        max_extra = n if self.max_size is None else max(0, self.max_size - len(suffix))
+        for size in range(1, min(n, max_extra) + 1):
+            for combo in combinations(frequent_chain, size):
+                support = min(count for _, count in combo)
+                itemset = sorted(suffix + [item for item, _ in combo])
+                if len(itemset) > 1:
+                    out[tuple(int(x) for x in itemset)] = int(support)

@@ -1,0 +1,178 @@
+"""Command-line interface for the library.
+
+Three subcommands cover the workflows a downstream user actually runs:
+
+``repro-mine``
+    Mine frequent pairs from a FIMI-format transaction file (or from a
+    generated synthetic instance) with a chosen engine, print the top pairs
+    and the phase/throughput summary.
+
+``repro-generate``
+    Generate a synthetic dataset (the paper's Bernoulli generator, the Quest
+    market-basket generator or the WebDocs surrogate) and write it in FIMI
+    format.
+
+``repro-intersect``
+    Compute the intersection size of two sets given as whitespace-separated
+    integer files, via batmaps and via sorted-list merge, printing both
+    results and the batmap statistics.
+
+All three are also exposed through ``python -m repro.cli <subcommand> ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines.apriori import AprioriMiner
+from repro.baselines.eclat import EclatMiner
+from repro.baselines.fpgrowth import FPGrowthMiner
+from repro.baselines.merge import intersection_size_numpy
+from repro.core.batmap import build_batmap
+from repro.core.config import BatmapConfig
+from repro.core.hashing import HashFamily
+from repro.core.intersection import count_common
+from repro.datasets.fimi_io import read_fimi, write_fimi
+from repro.datasets.ibm_quest import QuestParameters, generate_quest_dataset
+from repro.datasets.synthetic import generate_density_instance
+from repro.datasets.transactions import TransactionDatabase
+from repro.datasets.webdocs import generate_webdocs_like
+from repro.mining.pair_mining import BatmapPairMiner
+
+__all__ = ["main", "build_parser"]
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BATMAP set intersection / frequent pair mining toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mine = sub.add_parser("mine", help="mine frequent pairs from a FIMI file")
+    mine.add_argument("input", type=Path, help="FIMI-format transaction file")
+    mine.add_argument("--min-support", type=int, default=2)
+    mine.add_argument("--engine", choices=["batmap", "apriori", "fpgrowth", "eclat"],
+                      default="batmap")
+    mine.add_argument("--top", type=int, default=10, help="number of pairs to print")
+    mine.add_argument("--max-transactions", type=int, default=None)
+    mine.add_argument("--seed", type=int, default=0)
+
+    gen = sub.add_parser("generate", help="generate a synthetic dataset in FIMI format")
+    gen.add_argument("output", type=Path)
+    gen.add_argument("--kind", choices=["density", "quest", "webdocs"], default="density")
+    gen.add_argument("--items", type=int, default=1000)
+    gen.add_argument("--density", type=float, default=0.05)
+    gen.add_argument("--total-items", type=int, default=100_000)
+    gen.add_argument("--transactions", type=int, default=1000)
+    gen.add_argument("--seed", type=int, default=0)
+
+    inter = sub.add_parser("intersect", help="intersect two integer-set files")
+    inter.add_argument("set_a", type=Path)
+    inter.add_argument("set_b", type=Path)
+    inter.add_argument("--universe", type=int, default=None,
+                       help="universe size (default: max id + 1)")
+    inter.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# Subcommand implementations
+# --------------------------------------------------------------------------- #
+def _cmd_mine(args: argparse.Namespace, out) -> int:
+    db = read_fimi(args.input, max_transactions=args.max_transactions)
+    print(f"loaded {db.n_transactions} transactions, {db.n_items} items, "
+          f"{db.total_items} occurrences (density {db.density:.4f})", file=out)
+
+    start = time.perf_counter()
+    if args.engine == "batmap":
+        report = BatmapPairMiner().mine(db, min_support=args.min_support, rng=args.seed)
+        pairs = report.supports.frequent_pairs(args.min_support)
+        print(f"phases: preprocess {report.preprocess_seconds:.3f}s, "
+              f"device {report.counting_seconds:.5f}s (modelled), "
+              f"postprocess {report.postprocess_seconds:.3f}s, "
+              f"failed insertions {report.failed_insertions}", file=out)
+    elif args.engine == "apriori":
+        pairs = AprioriMiner().mine_pairs(db.transactions, db.n_items, args.min_support)
+    elif args.engine == "fpgrowth":
+        pairs = FPGrowthMiner().mine_pairs(db.transactions, db.n_items, args.min_support)
+    else:
+        pairs = EclatMiner().mine_pairs(db.transactions, db.n_items, args.min_support)
+    elapsed = time.perf_counter() - start
+
+    print(f"{len(pairs)} frequent pairs (support >= {args.min_support}) "
+          f"in {elapsed:.3f}s wall clock [{args.engine}]", file=out)
+    ranked = sorted(pairs.items(), key=lambda kv: (-kv[1], kv[0]))[:args.top]
+    for (i, j), support in ranked:
+        print(f"  ({i}, {j})  support={support}", file=out)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace, out) -> int:
+    if args.kind == "density":
+        db = generate_density_instance(args.items, args.density, args.total_items,
+                                       rng=args.seed)
+    elif args.kind == "quest":
+        db = generate_quest_dataset(
+            QuestParameters(n_items=args.items, n_transactions=args.transactions),
+            rng=args.seed)
+    else:
+        db = generate_webdocs_like(args.transactions, vocabulary_size=args.items,
+                                   rng=args.seed)
+    write_fimi(db, args.output)
+    print(f"wrote {db.n_transactions} transactions, {db.n_items} items, "
+          f"{db.total_items} occurrences to {args.output}", file=out)
+    return 0
+
+
+def _read_id_file(path: Path) -> np.ndarray:
+    tokens = path.read_text().split()
+    return np.unique(np.array([int(t) for t in tokens], dtype=np.int64))
+
+
+def _cmd_intersect(args: argparse.Namespace, out) -> int:
+    set_a = _read_id_file(args.set_a)
+    set_b = _read_id_file(args.set_b)
+    if set_a.size == 0 or set_b.size == 0:
+        print("intersection size: 0 (one of the sets is empty)", file=out)
+        return 0
+    universe = args.universe or int(max(set_a.max(), set_b.max())) + 1
+    config = BatmapConfig()
+    family = HashFamily.create(universe, shift=config.shift_for_universe(universe),
+                               rng=args.seed)
+    bm_a = build_batmap(set_a, universe, family=family, config=config)
+    bm_b = build_batmap(set_b, universe, family=family, config=config)
+    batmap_count = count_common(bm_a, bm_b)
+    merge_count = intersection_size_numpy(set_a, set_b)
+    print(f"|A| = {set_a.size}, |B| = {set_b.size}, universe = {universe}", file=out)
+    print(f"intersection size (batmap): {batmap_count}", file=out)
+    print(f"intersection size (merge) : {merge_count}", file=out)
+    print(f"batmap sizes: {bm_a.memory_bytes} B and {bm_b.memory_bytes} B "
+          f"({len(bm_a.failed) + len(bm_b.failed)} failed insertions)", file=out)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+def main(argv: list[str] | None = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "mine":
+        return _cmd_mine(args, out)
+    if args.command == "generate":
+        return _cmd_generate(args, out)
+    if args.command == "intersect":
+        return _cmd_intersect(args, out)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

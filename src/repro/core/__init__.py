@@ -1,0 +1,79 @@
+"""The BATMAP core: data layout, construction and intersection counting.
+
+Public entry points:
+
+* :class:`~repro.core.config.BatmapConfig` — layout / construction knobs.
+* :func:`~repro.core.batmap.build_batmap` — build one batmap.
+* :class:`~repro.core.collection.BatmapCollection` — build and compare many
+  sets sharing one hash family (the normal way to use the library).
+* :func:`~repro.core.intersection.count_common` — intersection size of two
+  batmaps.
+"""
+
+from repro.core.batmap import Batmap, build_batmap
+from repro.core.builder import EMPTY, Placement, PlacementStats, place_set
+from repro.core.collection import BatmapCollection, DeviceBuffer
+from repro.core.config import DEFAULT_CONFIG, BatmapConfig
+from repro.core.errors import (
+    BatmapError,
+    CapacityError,
+    DataFormatError,
+    DeviceError,
+    InsertionFailure,
+    KernelLaunchError,
+    LayoutError,
+    ReproError,
+    SharedMemoryError,
+)
+from repro.core.hashing import (
+    ArrayPermutation,
+    FeistelPermutation,
+    HashFamily,
+    make_permutations,
+)
+from repro.core.intersection import (
+    count_common,
+    count_common_bytes,
+    count_common_packed,
+    exact_intersection_size,
+)
+from repro.core.swar import (
+    count_matches,
+    count_matches_folded,
+    count_matches_per_word,
+    match_bits,
+)
+
+__all__ = [
+    "Batmap",
+    "build_batmap",
+    "EMPTY",
+    "Placement",
+    "PlacementStats",
+    "place_set",
+    "BatmapCollection",
+    "DeviceBuffer",
+    "BatmapConfig",
+    "DEFAULT_CONFIG",
+    "HashFamily",
+    "ArrayPermutation",
+    "FeistelPermutation",
+    "make_permutations",
+    "count_common",
+    "count_common_bytes",
+    "count_common_packed",
+    "exact_intersection_size",
+    "count_matches",
+    "count_matches_folded",
+    "count_matches_per_word",
+    "match_bits",
+    "ReproError",
+    "BatmapError",
+    "InsertionFailure",
+    "CapacityError",
+    "LayoutError",
+    "DeviceError",
+    "KernelLaunchError",
+    "SharedMemoryError",
+    "DataFormatError",
+]

@@ -1,0 +1,256 @@
+"""The Batmap data structure: a compressed, comparison-friendly set layout.
+
+A :class:`Batmap` stores a set ``S`` of element ids from ``{0..m-1}`` as three
+hash-table rows of range ``r`` (a power of two), each element appearing in
+exactly two of the three rows (2-of-3 cuckoo placement).  Each slot holds an
+8-bit entry::
+
+    bit 7      : indicator bit b_t[p] — 1 iff the *other* copy of the stored
+                 element lives in the cyclically *preceding* row
+    bits 6..0  : payload — ``(pi_t(x) >> shift) + 1`` (0 is reserved for NULL)
+
+Together with the slot index (which pins the low-order bits of ``pi_t(x)``),
+the payload identifies the element uniquely as long as ``r >= 2**shift``
+(Section III-A's compression condition).  Intersection sizes between two
+batmaps built from the same :class:`~repro.core.hashing.HashFamily` can then
+be computed by a data-independent element-wise comparison — see
+:mod:`repro.core.intersection`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.core.builder import EMPTY, Placement, PlacementStats, place_set
+from repro.core.config import BatmapConfig, DEFAULT_CONFIG
+from repro.core.errors import LayoutError
+from repro.core.hashing import HashFamily
+from repro.utils.bits import pack_bytes_to_words
+from repro.utils.rng import RngLike
+from repro.utils.validation import require
+
+__all__ = ["Batmap", "build_batmap"]
+
+#: Byte value of an empty slot: payload 0 (NULL) with indicator bit clear.
+NULL_ENTRY = np.uint8(0)
+
+# Indicator bit convention: for an element stored in rows {a, b} that are
+# cyclically adjacent as a -> b (b == (a + 1) % 3), the occurrence in row b is
+# the "last" one and gets bit 1; the occurrence in row a gets bit 0.
+_INDICATOR = {
+    (0, 1): (0, 1),
+    (1, 2): (0, 1),
+    (2, 0): (1, 0),  # pair {0, 2}: row 2 is first, row 0 is last
+}
+
+
+def _indicator_bits(table_a: int, table_b: int) -> tuple[int, int]:
+    """Return the indicator bits for an element stored in (table_a, table_b)."""
+    key = (min(table_a, table_b), max(table_a, table_b))
+    if key == (0, 1):
+        return (0, 1) if (table_a, table_b) == (0, 1) else (1, 0)
+    if key == (1, 2):
+        return (0, 1) if (table_a, table_b) == (1, 2) else (1, 0)
+    if key == (0, 2):
+        # cyclic order 2 -> 0, so row 0 carries the "last occurrence" bit
+        return (1, 0) if (table_a, table_b) == (0, 2) else (0, 1)
+    raise ValueError(f"invalid table pair ({table_a}, {table_b})")
+
+
+@dataclass
+class Batmap:
+    """Compressed 2-of-3 representation of a single set.
+
+    Instances are created through :func:`build_batmap` or
+    :meth:`Batmap.from_placement`; the constructor itself only checks basic
+    shape invariants.
+    """
+
+    family: HashFamily
+    config: BatmapConfig
+    r: int
+    entries: np.ndarray          # uint8, shape (3, r)
+    set_size: int
+    failed: tuple[int, ...] = ()
+    stats: PlacementStats | None = None
+
+    def __post_init__(self) -> None:
+        require(self.entries.shape == (3, self.r),
+                f"entries must have shape (3, {self.r}), got {self.entries.shape}")
+        require(self.entries.dtype == np.uint8, "entries must be uint8")
+        require(self.r >= 1, "range must be at least 1")
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_placement(
+        cls,
+        placement: Placement,
+        family: HashFamily,
+        config: BatmapConfig = DEFAULT_CONFIG,
+        *,
+        set_size: int | None = None,
+    ) -> "Batmap":
+        """Encode a raw cuckoo placement into the compressed byte layout."""
+        r = placement.r
+        rows = placement.rows
+        entries = np.zeros((3, r), dtype=np.uint8)
+
+        stored = placement.stored_elements
+        if stored.size:
+            # For every stored element find its two (table, position) slots.
+            # Work in bulk: positions per table for all stored elements.
+            pos = np.stack([family.positions(t, stored, r) for t in range(3)], axis=0)
+            present = np.stack(
+                [rows[t, pos[t]] == stored for t in range(3)], axis=0
+            )  # (3, n_stored) — True where the element's copy actually sits
+            payloads = np.stack([family.payloads(t, stored) for t in range(3)], axis=0)
+            max_payload = (1 << config.payload_bits) - 1
+            if payloads.max(initial=0) > max_payload:
+                raise LayoutError(
+                    "payload overflow: increase payload_bits or the hash-family shift"
+                )
+            for idx in range(stored.size):
+                tables = np.nonzero(present[:, idx])[0]
+                if tables.size != 2:  # pragma: no cover - guarded by Placement.validate
+                    raise LayoutError(
+                        f"element {int(stored[idx])} stored in {tables.size} tables"
+                    )
+                ta, tb = int(tables[0]), int(tables[1])
+                bit_a, bit_b = _indicator_bits(ta, tb)
+                entries[ta, pos[ta, idx]] = np.uint8((bit_a << 7) | int(payloads[ta, idx]))
+                entries[tb, pos[tb, idx]] = np.uint8((bit_b << 7) | int(payloads[tb, idx]))
+
+        return cls(
+            family=family,
+            config=config,
+            r=r,
+            entries=entries,
+            set_size=int(set_size if set_size is not None else stored.size + len(placement.failed)),
+            failed=tuple(int(x) for x in placement.failed),
+            stats=placement.stats,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def stored_count(self) -> int:
+        """Number of elements actually represented (set size minus failed insertions)."""
+        return self.set_size - len(self.failed)
+
+    def contains(self, element: int) -> bool:
+        """Membership test by probing the element's three candidate slots."""
+        x = np.array([int(element)], dtype=np.int64)
+        if element < 0 or element >= self.family.universe_size:
+            return False
+        for t in range(3):
+            p = int(self.family.positions(t, x, self.r)[0])
+            entry = int(self.entries[t, p])
+            if entry == 0:
+                continue
+            payload = entry & 0x7F
+            if payload == int(self.family.payloads(t, x)[0]):
+                return True
+        return False
+
+    def decode_elements(self) -> np.ndarray:
+        """Recover the sorted set of stored element ids (for tests / debugging)."""
+        found: set[int] = set()
+        for t in range(3):
+            positions = np.nonzero(self.entries[t] != 0)[0]
+            if positions.size == 0:
+                continue
+            payloads = self.entries[t, positions].astype(np.int64) & 0x7F
+            elements = self.family.decode(t, payloads, positions, self.r)
+            found.update(int(e) for e in elements.tolist())
+        return np.array(sorted(found), dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Layout / packing
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def packed_rows(self) -> np.ndarray:
+        """Rows packed into 32-bit words, shape ``(3, ceil(r / 4))``.
+
+        Rows shorter than four entries are zero-padded; NULL entries never
+        match anything, so padding cannot change any intersection count.
+        """
+        r_padded = max(4, ((self.r + 3) // 4) * 4)
+        padded = np.zeros((3, r_padded), dtype=np.uint8)
+        padded[:, : self.r] = self.entries
+        return np.stack([pack_bytes_to_words(padded[t]) for t in range(3)], axis=0)
+
+    def device_array(self, r0: int) -> np.ndarray:
+        """Flat byte array in the interleaved device layout of Figure 4.
+
+        ``r0`` is the collection-wide block granularity (the smallest range in
+        the collection); folding a position of a larger batmap onto a smaller
+        one is then ``position mod (3 * r_small)``.
+        """
+        require(r0 <= self.r, f"r0 ({r0}) must not exceed r ({self.r})")
+        out = np.zeros(3 * self.r, dtype=np.uint8)
+        blocks = self.r // r0
+        for t in range(3):
+            row = self.entries[t].reshape(blocks, r0)
+            # block q of the device array holds [h1 slice | h2 slice | h3 slice]
+            out.reshape(blocks, 3 * r0)[:, t * r0:(t + 1) * r0] = row
+        return out
+
+    @property
+    def memory_bytes(self) -> int:
+        """Size of the compressed representation (one byte per slot)."""
+        return 3 * self.r
+
+    @property
+    def width_words(self) -> int:
+        """Packed width per row in 32-bit words."""
+        return int(self.packed_rows.shape[1])
+
+    def density(self) -> float:
+        """Set density |S| / m as defined in the paper."""
+        return self.set_size / self.family.universe_size
+
+    def __len__(self) -> int:
+        return self.set_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Batmap(size={self.set_size}, r={self.r}, failed={len(self.failed)}, "
+            f"bytes={self.memory_bytes})"
+        )
+
+
+def build_batmap(
+    elements,
+    universe_size: int,
+    *,
+    family: HashFamily | None = None,
+    config: BatmapConfig = DEFAULT_CONFIG,
+    r: int | None = None,
+    rng: RngLike = None,
+    on_failure: str = "record",
+) -> Batmap:
+    """Convenience constructor: build a single batmap for one set.
+
+    When comparing many sets, build one :class:`HashFamily` (or use
+    :class:`repro.core.collection.BatmapCollection`) and pass it in so that
+    all batmaps share the same hash functions — batmaps built from different
+    families are not comparable.
+    """
+    elements = np.unique(np.asarray(list(elements) if not isinstance(elements, np.ndarray) else elements,
+                                    dtype=np.int64))
+    if family is None:
+        shift = config.shift_for_universe(universe_size)
+        family = HashFamily.create(universe_size, shift=shift, rng=rng)
+    else:
+        require(family.universe_size == universe_size,
+                "family universe size does not match universe_size")
+    if r is None:
+        r = config.range_for_size(int(elements.size), universe_size)
+    placement = place_set(elements, family, r, config, on_failure=on_failure)
+    return Batmap.from_placement(placement, family, config, set_size=int(elements.size))

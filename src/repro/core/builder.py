@@ -1,0 +1,226 @@
+"""Generalised cuckoo placement: store every element in 2 of 3 hash tables.
+
+This implements the INSERT procedure of Section II-A of the paper.  Elements
+are pushed around the three tables in the cyclic order 1, 2, 3, 1, 2, ...
+until a vacant slot is found; after ``MaxLoop`` moves the insertion is
+declared failed and the currently nestless element is returned.
+
+Every element is inserted twice (two copies); a failed insertion removes all
+copies of the offending element, re-inserts the displaced victim, and records
+the element in the placement's ``failed`` list.  The mining pipeline repairs
+the counts for failed elements on the host (Section III-C); strict callers
+may instead ask for an exception.
+
+The output of this module is a :class:`Placement` — three integer rows
+holding raw element ids — which :mod:`repro.core.batmap` then encodes into
+the compressed byte layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import BatmapConfig, DEFAULT_CONFIG
+from repro.core.errors import InsertionFailure
+from repro.core.hashing import HashFamily
+from repro.utils.validation import require, require_power_of_two
+
+__all__ = ["EMPTY", "Placement", "PlacementStats", "place_set"]
+
+#: Sentinel for an empty slot in the raw (element-id) rows.
+EMPTY = -1
+
+
+@dataclass
+class PlacementStats:
+    """Construction statistics used by the analysis experiments."""
+
+    inserted: int = 0
+    failed: int = 0
+    total_moves: int = 0
+    max_transcript: int = 0
+
+    @property
+    def moves_per_insert(self) -> float:
+        return self.total_moves / self.inserted if self.inserted else 0.0
+
+
+@dataclass
+class Placement:
+    """A 2-of-3 assignment of a set's elements to three hash-table rows.
+
+    Attributes
+    ----------
+    rows:
+        Integer array of shape ``(3, r)``; ``rows[t, p]`` is the element id
+        stored at position ``p`` of table ``t`` or :data:`EMPTY`.
+    r:
+        The (power-of-two) hash range shared by the three rows.
+    failed:
+        Element ids that could not be fully placed (no copies remain stored).
+    """
+
+    rows: np.ndarray
+    r: int
+    failed: list[int] = field(default_factory=list)
+    stats: PlacementStats = field(default_factory=PlacementStats)
+
+    @property
+    def stored_elements(self) -> np.ndarray:
+        """Sorted unique element ids currently stored (each appears in 2 slots)."""
+        vals = self.rows[self.rows != EMPTY]
+        return np.unique(vals)
+
+    def occurrences(self, element: int) -> list[tuple[int, int]]:
+        """Return the ``(table, position)`` slots currently holding ``element``."""
+        t, p = np.nonzero(self.rows == element)
+        return list(zip(t.tolist(), p.tolist()))
+
+    def validate(self, family: HashFamily) -> None:
+        """Check the structural invariants of a 2-of-3 placement.
+
+        Every stored element must occupy exactly two slots, in two distinct
+        tables, each at the slot prescribed by the corresponding hash
+        function.  Raises :class:`AssertionError` on violation (used heavily
+        in tests and the property-based suite).
+        """
+        for x in self.stored_elements.tolist():
+            occ = self.occurrences(int(x))
+            assert len(occ) == 2, f"element {x} stored {len(occ)} times"
+            tables = {t for t, _ in occ}
+            assert len(tables) == 2, f"element {x} stored twice in one table"
+            for t, p in occ:
+                expected = int(family.positions(t, np.array([x]), self.r)[0])
+                assert p == expected, (
+                    f"element {x} at table {t} position {p}, expected {expected}"
+                )
+        for x in self.failed:
+            assert len(self.occurrences(int(x))) == 0, (
+                f"failed element {x} still has stored copies"
+            )
+
+
+class _Inserter:
+    """Mutable state for the cuckoo insertion loop over one set.
+
+    Slot positions for every element of the set are precomputed in bulk (one
+    vectorised hash call per table) because the insertion loop only ever
+    moves elements of the set being built.
+    """
+
+    def __init__(
+        self,
+        family: HashFamily,
+        r: int,
+        config: BatmapConfig,
+        elements: np.ndarray,
+    ) -> None:
+        self.family = family
+        self.r = r
+        self.config = config
+        self.rows = np.full((3, r), EMPTY, dtype=np.int64)
+        self.max_loop = config.effective_max_loop(r)
+        self.stats = PlacementStats()
+        # slots[x] = (p0, p1, p2): the one legal position of x in each table.
+        positions = [family.positions(t, elements, r) for t in range(3)]
+        self._slots: dict[int, tuple[int, int, int]] = {
+            int(x): (int(positions[0][i]), int(positions[1][i]), int(positions[2][i]))
+            for i, x in enumerate(elements.tolist())
+        }
+
+    def _slot(self, table: int, x: int) -> int:
+        return self._slots[x][table]
+
+    def insert_once(self, x: int) -> int:
+        """Insert one copy of ``x``; return :data:`EMPTY` on success or the nestless element."""
+        tau = int(x)
+        moves = 0
+        for _ in range(self.max_loop):
+            for table in range(3):
+                slot = self._slot(table, tau)
+                tau, self.rows[table, slot] = int(self.rows[table, slot]), tau
+                moves += 1
+                if tau == EMPTY:
+                    self.stats.total_moves += moves
+                    self.stats.max_transcript = max(self.stats.max_transcript, moves)
+                    return EMPTY
+        self.stats.total_moves += moves
+        self.stats.max_transcript = max(self.stats.max_transcript, moves)
+        return tau
+
+    def remove_all(self, x: int) -> int:
+        """Remove every stored copy of ``x``; return how many were removed."""
+        mask = self.rows == x
+        count = int(mask.sum())
+        self.rows[mask] = EMPTY
+        return count
+
+    def insert_element(self, x: int) -> list[int]:
+        """Insert both copies of ``x``.
+
+        Returns the list of elements that ended up *failed* as a result
+        (possibly ``[x]``, possibly a displaced victim, usually empty).
+        """
+        failed: list[int] = []
+        for _ in range(2):
+            nestless = self.insert_once(x)
+            if nestless == EMPTY:
+                continue
+            # Failure: drop x entirely, then try to re-home the victim.
+            self.remove_all(x)
+            failed.append(int(x))
+            if nestless != x:
+                victim_nestless = self.insert_once(int(nestless))
+                if victim_nestless != EMPTY:
+                    # Extremely unlikely secondary failure: give up on the
+                    # victim as well so the structure stays consistent
+                    # (failed elements have no stored copies).
+                    self.remove_all(int(victim_nestless))
+                    failed.append(int(victim_nestless))
+            break
+        self.stats.inserted += 1
+        self.stats.failed += len(failed)
+        return failed
+
+
+def place_set(
+    elements: np.ndarray,
+    family: HashFamily,
+    r: int,
+    config: BatmapConfig = DEFAULT_CONFIG,
+    *,
+    on_failure: str = "record",
+) -> Placement:
+    """Place a set of element ids into three rows of range ``r``.
+
+    Parameters
+    ----------
+    elements:
+        Element ids in ``[0, family.universe_size)``; duplicates are ignored.
+    r:
+        Power-of-two hash range.  The cuckoo analysis requires
+        ``r >= 2 * |S|``; smaller ranges are allowed but will fail often.
+    on_failure:
+        ``"record"`` (default) records failed elements in the placement,
+        ``"raise"`` raises :class:`InsertionFailure` on the first failure.
+    """
+    require_power_of_two(r, "r")
+    require(on_failure in ("record", "raise"),
+            f"on_failure must be 'record' or 'raise', got {on_failure!r}")
+    elements = np.unique(np.asarray(elements, dtype=np.int64))
+    if elements.size and (elements.min() < 0 or elements.max() >= family.universe_size):
+        raise ValueError("element id out of range for the hash family's universe")
+
+    inserter = _Inserter(family, r, config, elements)
+    failed: list[int] = []
+    for x in elements.tolist():
+        newly_failed = inserter.insert_element(int(x))
+        if newly_failed and on_failure == "raise":
+            raise InsertionFailure(newly_failed[0])
+        failed.extend(newly_failed)
+    # A victim that failed during a later insertion might have been recorded
+    # while an earlier copy of it is long gone; keep the list duplicate-free.
+    failed = sorted(set(failed))
+    return Placement(rows=inserter.rows, r=r, failed=failed, stats=inserter.stats)

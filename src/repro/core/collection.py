@@ -1,0 +1,237 @@
+"""A collection of batmaps sharing one hash family, ready for bulk intersection.
+
+This is the host-side object the mining pipeline builds during preprocessing
+(Section III-C of the paper):
+
+* all sets are converted to batmaps with the *same* three hash permutations,
+  so any two of them are positionally comparable;
+* batmaps are sorted by increasing width, so that the GPU's 16-wide work
+  groups spend little time on narrow batmaps;
+* all batmaps are packed into one flat device buffer (the interleaved layout
+  of Figure 4, four 8-bit entries per 32-bit word) that is shipped to the
+  device once;
+* failed cuckoo insertions are recorded per transaction so the host can
+  repair the affected pair counts after the device pass.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.batmap import Batmap
+from repro.core.builder import place_set
+from repro.core.config import BatmapConfig, DEFAULT_CONFIG
+from repro.core.hashing import HashFamily
+from repro.core.intersection import count_common
+from repro.utils.bits import pack_bytes_to_words
+from repro.utils.rng import RngLike
+from repro.utils.validation import require, require_positive
+
+__all__ = ["DeviceBuffer", "BatmapCollection"]
+
+
+@dataclass(frozen=True)
+class DeviceBuffer:
+    """Flat packed representation of every batmap, as transferred to the device.
+
+    Attributes
+    ----------
+    words:
+        ``uint32`` array holding all batmaps back to back (interleaved layout,
+        4 entries per word).
+    offsets:
+        ``offsets[k]`` is the first word of batmap ``k`` (in sorted order).
+    widths:
+        ``widths[k]`` is the number of words of batmap ``k``.
+    r0:
+        The collection-wide block granularity (smallest hash range).
+    """
+
+    words: np.ndarray
+    offsets: np.ndarray
+    widths: np.ndarray
+    r0: int
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.words.nbytes)
+
+    def slice(self, k: int) -> np.ndarray:
+        """Word view of batmap ``k`` (sorted order)."""
+        o = int(self.offsets[k])
+        return self.words[o:o + int(self.widths[k])]
+
+
+class BatmapCollection:
+    """Batmaps for a family of sets ``S_0 .. S_{n-1}`` over ``{0..m-1}``.
+
+    Indices exposed by the public API are the *original* set indices (e.g.
+    item ids in frequent pair mining); the width-sorted order used internally
+    for device scheduling is available as :attr:`order`.
+    """
+
+    def __init__(
+        self,
+        family: HashFamily,
+        config: BatmapConfig,
+        batmaps: list[Batmap],
+        order: np.ndarray,
+        universe_size: int,
+    ) -> None:
+        self.family = family
+        self.config = config
+        self._batmaps_sorted = batmaps          # in width-sorted order
+        self.order = order                      # order[k] = original index of sorted slot k
+        self.universe_size = universe_size
+        self.rank = np.empty_like(order)
+        self.rank[order] = np.arange(order.size)
+        self._device_buffer: DeviceBuffer | None = None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        sets: Sequence[np.ndarray],
+        universe_size: int,
+        *,
+        config: BatmapConfig = DEFAULT_CONFIG,
+        rng: RngLike = None,
+        sort_by_size: bool = True,
+        family: HashFamily | None = None,
+    ) -> "BatmapCollection":
+        """Build batmaps for every set in ``sets``.
+
+        ``sets[i]`` is an array-like of element ids in ``[0, universe_size)``.
+        """
+        require_positive(universe_size, "universe_size")
+        require(len(sets) > 0, "cannot build an empty collection")
+        if family is None:
+            shift = config.shift_for_universe(universe_size)
+            family = HashFamily.create(universe_size, shift=shift, rng=rng)
+        else:
+            require(family.universe_size == universe_size,
+                    "family universe size does not match universe_size")
+
+        sizes = np.array([len(np.unique(np.asarray(s, dtype=np.int64))) for s in sets])
+        order = np.argsort(sizes, kind="stable") if sort_by_size else np.arange(len(sets))
+
+        batmaps: list[Batmap] = []
+        for k in order.tolist():
+            elements = np.unique(np.asarray(sets[k], dtype=np.int64))
+            # Keep the packed-word path available even for tiny sets.
+            r = max(4, config.range_for_size(int(elements.size), universe_size))
+            placement = place_set(elements, family, r, config)
+            batmaps.append(
+                Batmap.from_placement(placement, family, config, set_size=int(elements.size))
+            )
+        return cls(family, config, batmaps, np.asarray(order, dtype=np.int64), universe_size)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._batmaps_sorted)
+
+    def batmap(self, original_index: int) -> Batmap:
+        """Batmap of the set with the given *original* index."""
+        return self._batmaps_sorted[int(self.rank[original_index])]
+
+    def batmap_sorted(self, sorted_index: int) -> Batmap:
+        """Batmap at a width-sorted slot (device scheduling order)."""
+        return self._batmaps_sorted[sorted_index]
+
+    @property
+    def batmaps_sorted(self) -> list[Batmap]:
+        return list(self._batmaps_sorted)
+
+    @property
+    def r0(self) -> int:
+        """Collection-wide block granularity: the smallest range present."""
+        return min(b.r for b in self._batmaps_sorted)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Total compressed size of all batmaps (the device transfer size)."""
+        return sum(b.memory_bytes for b in self._batmaps_sorted)
+
+    def failed_insertions(self) -> dict[int, list[int]]:
+        """Map ``element -> [original set indices]`` whose insertion of that element failed.
+
+        In the frequent-pair-mining context the element is a transaction id
+        ``b`` and the returned lists are the sets ``F_b`` of Section III-C.
+        """
+        failures: dict[int, list[int]] = {}
+        for sorted_idx, bm in enumerate(self._batmaps_sorted):
+            original = int(self.order[sorted_idx])
+            for element in bm.failed:
+                failures.setdefault(int(element), []).append(original)
+        return failures
+
+    # ------------------------------------------------------------------ #
+    # Host-side pair counting (reference path)
+    # ------------------------------------------------------------------ #
+    def count_pair(self, i: int, j: int) -> int:
+        """Stored-copy intersection count of original sets ``i`` and ``j``."""
+        return count_common(self.batmap(i), self.batmap(j))
+
+    def count_all_pairs(self) -> np.ndarray:
+        """Dense ``n x n`` matrix of stored-copy intersection counts (host path).
+
+        Exploits symmetry; the diagonal holds each set's stored element count.
+        Intended for small ``n`` (tests and reference results) — the GPU
+        simulator path in :mod:`repro.kernels` is the scalable route.
+        """
+        n = len(self)
+        out = np.zeros((n, n), dtype=np.int64)
+        for a in range(n):
+            bm_a = self._batmaps_sorted[a]
+            ia = int(self.order[a])
+            out[ia, ia] = bm_a.stored_count
+            for b in range(a + 1, n):
+                ib = int(self.order[b])
+                c = count_common(bm_a, self._batmaps_sorted[b])
+                out[ia, ib] = c
+                out[ib, ia] = c
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Device packing
+    # ------------------------------------------------------------------ #
+    def device_buffer(self) -> DeviceBuffer:
+        """Pack every batmap into one flat word buffer (built once, cached).
+
+        Each batmap is padded to a 16-word (64-byte) boundary so that the
+        16-wide coalesced reads of the pair-count kernel start on an aligned
+        segment — the alignment requirement the paper's best-practice guide
+        [19] calls out.  The padding words are never read (folding uses the
+        true width), they only shift the next batmap's offset.
+        """
+        if self._device_buffer is None:
+            r0 = self.r0
+            chunks = []
+            widths = []
+            offsets = []
+            cursor = 0
+            for bm in self._batmaps_sorted:
+                words = pack_bytes_to_words(bm.device_array(r0))
+                offsets.append(cursor)
+                widths.append(words.size)
+                padded_len = ((words.size + 15) // 16) * 16
+                if padded_len != words.size:
+                    words = np.concatenate(
+                        [words, np.zeros(padded_len - words.size, dtype=np.uint32)]
+                    )
+                chunks.append(words)
+                cursor += padded_len
+            self._device_buffer = DeviceBuffer(
+                words=np.concatenate(chunks),
+                offsets=np.asarray(offsets, dtype=np.int64),
+                widths=np.asarray(widths, dtype=np.int64),
+                r0=r0,
+            )
+        return self._device_buffer

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the BATMAP core."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class BatmapError(ReproError):
+    """Base class for errors raised by the batmap data structure."""
+
+
+class InsertionFailure(BatmapError):
+    """Raised when a cuckoo insertion cannot place an element within MaxLoop moves.
+
+    The mining pipeline normally *handles* failed insertions through the
+    repair path (Section III-C of the paper); this exception is only raised
+    when the caller asked for strict construction (``on_failure="raise"``).
+    """
+
+    def __init__(self, element: int, message: str | None = None) -> None:
+        self.element = int(element)
+        super().__init__(message or f"cuckoo insertion failed for element {element}")
+
+
+class CapacityError(BatmapError):
+    """Raised when a batmap or device buffer would exceed its configured capacity."""
+
+
+class LayoutError(BatmapError):
+    """Raised when two batmaps have incompatible layouts for a packed comparison."""
+
+
+class DeviceError(ReproError):
+    """Base class for GPU-simulator errors (bad launch geometry, memory misuse)."""
+
+
+class KernelLaunchError(DeviceError):
+    """Raised when a kernel launch has inconsistent global/local sizes."""
+
+
+class SharedMemoryError(DeviceError):
+    """Raised when a work group over-allocates or misuses shared memory."""
+
+
+class DataFormatError(ReproError):
+    """Raised on malformed transaction-database input (FIMI parsing, bad ids)."""

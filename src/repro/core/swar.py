@@ -1,0 +1,113 @@
+"""SWAR (SIMD-within-a-register) primitives for packed batmap comparison.
+
+Section III-A of the paper packs four 8-bit batmap entries into one 32-bit
+word (1 indicator bit + 7 payload bits per entry, indicator in the most
+significant bit of each byte) and counts matches without any conditional
+code:
+
+.. code-block:: text
+
+    p  = ((x XOR y) OR 0x80808080) - 0x01010101
+    p' = (p XOR 0xffffffff) AND ((x OR y) AND 0x80808080)
+
+After these two lines the most significant bit of byte ``k`` of ``p'`` is 1
+exactly when the two corresponding entries have equal payload bits *and* at
+least one of their indicator bits is set — which is the paper's counting
+condition ``(A_i[p] == A_j[p]) and (b_i[p] or b_j[p])``.  The number of
+matches contributed by the word pair is then
+``((p' >> 7) + (p' >> 15) + (p' >> 23) + (p' >> 31)) & 7``.
+
+All functions below are vectorised over NumPy ``uint32`` arrays; they are the
+"device code" executed by both the GPU-simulator kernels and the CPU
+throughput experiments (Figure 11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.bits import popcount_array
+
+__all__ = [
+    "MSB_MASK",
+    "LSB_MASK",
+    "PAYLOAD_MASK",
+    "match_bits",
+    "count_matches_per_word",
+    "count_matches",
+    "count_matches_folded",
+]
+
+MSB_MASK = np.uint32(0x80808080)
+LSB_MASK = np.uint32(0x01010101)
+PAYLOAD_MASK = np.uint32(0x7F7F7F7F)
+_ALL_ONES = np.uint32(0xFFFFFFFF)
+
+
+def _as_u32(a: np.ndarray) -> np.ndarray:
+    out = np.asarray(a)
+    if out.dtype != np.uint32:
+        out = out.astype(np.uint32)
+    return out
+
+
+def match_bits(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Return ``p'`` from the paper: per-byte MSB set iff the entries match.
+
+    ``x`` and ``y`` are arrays of packed 32-bit words of identical shape.
+    The result has the same shape; only the four MSBs per word carry
+    information.
+    """
+    x = _as_u32(x)
+    y = _as_u32(y)
+    try:
+        np.broadcast_shapes(x.shape, y.shape)
+    except ValueError as exc:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}") from exc
+    # Every byte of ((x ^ y) | 0x80) is at least 0x80, so subtracting 0x01
+    # from each byte never borrows across byte boundaries.
+    p = ((x ^ y) | MSB_MASK) - LSB_MASK
+    return (p ^ _ALL_ONES) & ((x | y) & MSB_MASK)
+
+
+def count_matches_per_word(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Per-word match counts in ``0..4`` using the paper's shift-add reduction."""
+    pprime = match_bits(x, y)
+    counts = (
+        (pprime >> np.uint32(7))
+        + (pprime >> np.uint32(15))
+        + (pprime >> np.uint32(23))
+        + (pprime >> np.uint32(31))
+    ) & np.uint32(7)
+    return counts
+
+
+def count_matches(x: np.ndarray, y: np.ndarray) -> int:
+    """Total number of matching entries between two packed word arrays."""
+    # popcount of the isolated MSBs equals the number of matching bytes and
+    # is cheaper than the shift-add reduction when summing over a whole array.
+    return int(popcount_array(match_bits(x, y)).sum())
+
+
+def count_matches_folded(large: np.ndarray, small: np.ndarray) -> int:
+    """Match count when the two batmaps have different ranges.
+
+    ``large`` is compared against ``small`` tiled (repeated) to the same
+    length — the word-level equivalent of folding positions of the larger
+    batmap onto the smaller one via ``mod r_small`` (Figure 1, bottom).
+    ``len(large)`` must be a multiple of ``len(small)``.
+    """
+    large = _as_u32(large).ravel()
+    small = _as_u32(small).ravel()
+    if small.size == 0:
+        raise ValueError("small batmap has no words")
+    if large.size % small.size != 0:
+        raise ValueError(
+            f"large word count ({large.size}) must be a multiple of the "
+            f"small word count ({small.size})"
+        )
+    reps = large.size // small.size
+    if reps == 1:
+        return count_matches(large, small)
+    tiled = np.tile(small, reps)
+    return count_matches(large, tiled)

@@ -1,0 +1,32 @@
+"""Dataset containers and generators used by the experiments.
+
+* :class:`~repro.datasets.transactions.TransactionDatabase` — horizontal
+  transaction container with vertical conversion and statistics.
+* :func:`~repro.datasets.synthetic.generate_density_instance` — the paper's
+  Bernoulli(p) generator (fixed total instance size).
+* :func:`~repro.datasets.ibm_quest.generate_quest_dataset` — IBM Quest-style
+  market baskets (T40I10D100K surrogate).
+* :func:`~repro.datasets.webdocs.generate_webdocs_like` — WebDocs surrogate
+  with Zipfian vocabulary growth.
+* :mod:`~repro.datasets.fimi_io` — FIMI text format I/O.
+"""
+
+from repro.datasets.fimi_io import parse_fimi_lines, read_fimi, write_fimi
+from repro.datasets.ibm_quest import QuestParameters, generate_quest_dataset, generate_t40i10
+from repro.datasets.synthetic import generate_density_instance, generate_fixed_transactions
+from repro.datasets.transactions import TransactionDatabase
+from repro.datasets.webdocs import generate_webdocs_like, vocabulary_growth
+
+__all__ = [
+    "TransactionDatabase",
+    "generate_density_instance",
+    "generate_fixed_transactions",
+    "QuestParameters",
+    "generate_quest_dataset",
+    "generate_t40i10",
+    "generate_webdocs_like",
+    "vocabulary_growth",
+    "read_fimi",
+    "write_fimi",
+    "parse_fimi_lines",
+]

@@ -1,0 +1,22 @@
+"""Extensions sketched in the paper's conclusion (Section V).
+
+* :mod:`repro.extensions.dofd1` — d-of-(d+1) batmaps whose position-aligned
+  comparison witnesses intersections of up to ``d`` sets.
+* :mod:`repro.extensions.multiway` — multi-way intersection with ordinary
+  2-of-3 batmaps via per-item membership probes.
+"""
+
+from repro.extensions.dofd1 import (
+    GeneralizedBatmap,
+    GeneralizedBatmapFamily,
+    multiway_intersection_size,
+)
+from repro.extensions.multiway import MultiwayResult, multiway_intersection
+
+__all__ = [
+    "GeneralizedBatmap",
+    "GeneralizedBatmapFamily",
+    "multiway_intersection_size",
+    "MultiwayResult",
+    "multiway_intersection",
+]

@@ -1,0 +1,93 @@
+"""Multi-way intersection with ordinary 2-of-3 batmaps (the paper's second sketch).
+
+Section V's second route for intersecting more than two sets: "use batmaps to
+count, for each item in S_{i1}, how many times this item appears in
+S_{i2}, S_{i3}, ...  At the end one would need to sum up the counts for the
+two occurrences of each item to determine if the item appeared in all sets."
+
+Concretely, for every element ``x`` of the pivot set ``S_{i1}`` (identified by
+its two stored occurrences) and every other set ``S_j``:
+
+* ``x ∈ S_j`` iff at least one of ``x``'s two occurrences in the pivot batmap
+  is position-matched by ``B_j`` (payload equality at the folded position —
+  the indicator bits are not needed here because the two occurrences are
+  OR-combined, not summed);
+* ``x`` belongs to the intersection of all sets iff the above holds for every
+  ``j``.
+
+The functions below implement that computation on top of a
+:class:`~repro.core.collection.BatmapCollection`, so the result is exact with
+respect to stored elements (failed insertions are reported so callers can
+repair, exactly like the pair pipeline does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.collection import BatmapCollection
+from repro.utils.validation import require
+
+__all__ = ["MultiwayResult", "multiway_intersection"]
+
+
+@dataclass(frozen=True)
+class MultiwayResult:
+    """Result of a multi-way intersection over stored elements."""
+
+    elements: np.ndarray           #: element ids present in every queried set (per stored copies)
+    failed_involved: tuple[int, ...]  #: elements whose insertion failed somewhere (not counted)
+
+    @property
+    def size(self) -> int:
+        return int(self.elements.size)
+
+
+def _membership_by_position(collection: BatmapCollection, pivot_elements: np.ndarray,
+                            set_index: int) -> np.ndarray:
+    """For each pivot element, does batmap ``set_index`` store it? (position/payload probe)"""
+    bm = collection.batmap(set_index)
+    family = collection.family
+    member = np.zeros(pivot_elements.size, dtype=bool)
+    for t in range(3):
+        pos = family.positions(t, pivot_elements, bm.r)
+        entries = bm.entries[t, pos]
+        payloads = family.payloads(t, pivot_elements)
+        member |= (entries.astype(np.int64) & 0x7F) == payloads
+    return member
+
+
+def multiway_intersection(
+    collection: BatmapCollection,
+    set_indices,
+) -> MultiwayResult:
+    """Intersect several sets of a collection using batmap position probes.
+
+    ``set_indices`` are original set indices; the first one acts as the pivot
+    whose stored elements are tested for membership in all the others.
+    Choosing the smallest set as pivot is the cheapest order; this function
+    does that automatically.
+    """
+    indices = [int(i) for i in set_indices]
+    require(len(indices) >= 2, "need at least two sets to intersect")
+    require(len(set(indices)) == len(indices), "set indices must be distinct")
+
+    # Pivot on the narrowest batmap.
+    pivot = min(indices, key=lambda i: collection.batmap(i).set_size)
+    others = [i for i in indices if i != pivot]
+    pivot_bm = collection.batmap(pivot)
+    pivot_elements = pivot_bm.decode_elements()
+
+    keep = np.ones(pivot_elements.size, dtype=bool)
+    for j in others:
+        keep &= _membership_by_position(collection, pivot_elements, j)
+
+    failed: set[int] = set()
+    for i in indices:
+        failed.update(collection.batmap(i).failed)
+    return MultiwayResult(
+        elements=pivot_elements[keep],
+        failed_involved=tuple(sorted(failed)),
+    )

@@ -1,0 +1,115 @@
+"""Device specifications for the GPU simulator.
+
+The paper's experiments ran on an NVIDIA GeForce GTX 285 (30 multiprocessors
+of 8 scalar cores at 1.4 GHz, 1 GB of global memory, ~159 GB/s memory
+bandwidth, 16 KiB of shared memory per multiprocessor) hosted by a dual
+Xeon 5462 machine.  The simulator is parameterised by these numbers so the
+modelled device times and throughput ratios can be compared with the paper's
+reported figures; other devices can be described by constructing a
+:class:`DeviceSpec` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require_positive
+
+__all__ = ["DeviceSpec", "GTX_285", "XEON_5462", "LAPTOP_CPU"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a (real or modelled) compute device."""
+
+    name: str
+    multiprocessors: int            #: number of SMs (GPU) or cores (CPU model)
+    cores_per_multiprocessor: int   #: scalar lanes per SM
+    clock_ghz: float                #: core clock
+    global_memory_bytes: int        #: device memory capacity
+    memory_bandwidth_gbps: float    #: peak global-memory bandwidth, GB/s (10^9)
+    shared_memory_per_mp_bytes: int #: low-latency scratch per SM
+    warp_size: int = 32
+    half_warp: int = 16
+    max_work_group_size: int = 512
+    #: host<->device transfer bandwidth (PCIe for a discrete GPU), GB/s
+    transfer_bandwidth_gbps: float = 5.0
+    #: fixed cost of one kernel launch, seconds
+    kernel_launch_overhead_s: float = 10e-6
+    #: simple instructions retired per core per clock cycle
+    ops_per_cycle: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.multiprocessors, "multiprocessors")
+        require_positive(self.cores_per_multiprocessor, "cores_per_multiprocessor")
+        require_positive(self.clock_ghz, "clock_ghz")
+        require_positive(self.global_memory_bytes, "global_memory_bytes")
+        require_positive(self.memory_bandwidth_gbps, "memory_bandwidth_gbps")
+        require_positive(self.shared_memory_per_mp_bytes, "shared_memory_per_mp_bytes")
+        require_positive(self.warp_size, "warp_size")
+        require_positive(self.half_warp, "half_warp")
+        require_positive(self.max_work_group_size, "max_work_group_size")
+
+    @property
+    def total_cores(self) -> int:
+        return self.multiprocessors * self.cores_per_multiprocessor
+
+    @property
+    def peak_ops_per_second(self) -> float:
+        """Scalar operations per second at full occupancy."""
+        return self.total_cores * self.clock_ghz * 1e9 * self.ops_per_cycle
+
+    @property
+    def peak_bandwidth_bytes_per_second(self) -> float:
+        return self.memory_bandwidth_gbps * 1e9
+
+    @property
+    def transfer_bandwidth_bytes_per_second(self) -> float:
+        return self.transfer_bandwidth_gbps * 1e9
+
+
+#: The card used in the paper (Section IV, "Hardware setup").
+GTX_285 = DeviceSpec(
+    name="GeForce GTX 285",
+    multiprocessors=30,
+    cores_per_multiprocessor=8,
+    clock_ghz=1.476,
+    global_memory_bytes=1 * 2**30,
+    memory_bandwidth_gbps=159.0,
+    shared_memory_per_mp_bytes=16 * 1024,
+)
+
+#: The paper's host CPUs: two quad-core Xeon 5462 at 2.8 GHz, FSB 1.6 GHz.
+#: The bandwidth figure models the ~7.6 GB/s saturation seen in Figure 11.
+XEON_5462 = DeviceSpec(
+    name="2x Intel Xeon 5462",
+    multiprocessors=8,
+    cores_per_multiprocessor=1,
+    clock_ghz=2.8,
+    global_memory_bytes=6 * 2**30,
+    memory_bandwidth_gbps=12.8,
+    shared_memory_per_mp_bytes=6 * 2**20,  # L2 cache per chip, used as "shared"
+    warp_size=1,
+    half_warp=1,
+    max_work_group_size=1,
+    transfer_bandwidth_gbps=12.8,
+    kernel_launch_overhead_s=0.0,
+    ops_per_cycle=2.0,
+)
+
+#: A deliberately modest modern CPU spec, handy for examples and tests.
+LAPTOP_CPU = DeviceSpec(
+    name="generic laptop CPU",
+    multiprocessors=4,
+    cores_per_multiprocessor=1,
+    clock_ghz=2.4,
+    global_memory_bytes=8 * 2**30,
+    memory_bandwidth_gbps=20.0,
+    shared_memory_per_mp_bytes=1 * 2**20,
+    warp_size=1,
+    half_warp=1,
+    max_work_group_size=1,
+    transfer_bandwidth_gbps=20.0,
+    kernel_launch_overhead_s=0.0,
+    ops_per_cycle=4.0,
+)

@@ -1,0 +1,112 @@
+"""Kernel abstraction and per-work-group execution context.
+
+A :class:`Kernel` is the simulator's equivalent of an OpenCL kernel.  Rather
+than executing one Python function per work item (hopelessly slow), a kernel
+implements :meth:`Kernel.run_group`, which processes one *work group* at a
+time with vectorised NumPy operations while reporting, through the
+:class:`WorkGroupContext`, exactly the memory traffic and instruction counts
+the per-item version would have generated.  The timing model then turns those
+counts into modelled device time.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import KernelLaunchError
+from repro.gpu.device import DeviceSpec
+from repro.gpu.memory import GlobalMemory, SharedMemory
+
+__all__ = ["Kernel", "WorkGroupContext"]
+
+
+@dataclass
+class WorkGroupContext:
+    """Everything a kernel sees while executing one work group."""
+
+    device: DeviceSpec
+    global_memory: GlobalMemory
+    shared: SharedMemory
+    group_id: tuple[int, int]
+    num_groups: tuple[int, int]
+    local_size: tuple[int, int]
+
+    #: counters the kernel fills in while running
+    scalar_ops: int = 0
+    barriers: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Identification helpers (mirror OpenCL's get_group_id / get_global_id)
+    # ------------------------------------------------------------------ #
+    @property
+    def global_offset(self) -> tuple[int, int]:
+        """Global index of this group's first work item, per dimension."""
+        return (self.group_id[0] * self.local_size[0],
+                self.group_id[1] * self.local_size[1])
+
+    @property
+    def work_items(self) -> int:
+        return self.local_size[0] * self.local_size[1]
+
+    # ------------------------------------------------------------------ #
+    # Memory access
+    # ------------------------------------------------------------------ #
+    def read_global(self, buffer: str, indices: np.ndarray) -> np.ndarray:
+        """Gather from a global buffer; traffic is recorded with coalescing analysis."""
+        return self.global_memory.read(buffer, indices)
+
+    def write_global(self, buffer: str, indices: np.ndarray, values: np.ndarray) -> None:
+        self.global_memory.write(buffer, indices, values)
+
+    def alloc_shared(self, name: str, shape, dtype) -> np.ndarray:
+        return self.shared.alloc(name, shape, dtype)
+
+    def store_shared(self, name: str, values: np.ndarray) -> None:
+        self.shared.store(name, values)
+
+    def barrier(self) -> None:
+        """A work-group memory barrier (CLK_LOCAL_MEM_FENCE in the real kernel)."""
+        self.barriers += 1
+
+    def add_ops(self, count: int) -> None:
+        """Record ``count`` scalar operations executed by this work group."""
+        if count < 0:
+            raise ValueError(f"operation count must be >= 0, got {count}")
+        self.scalar_ops += int(count)
+
+
+class Kernel(abc.ABC):
+    """Base class for simulated device kernels."""
+
+    #: human-readable kernel name (shows up in launch reports)
+    name: str = "kernel"
+    #: work-group shape (rows, cols); the paper uses 16 x 16
+    local_size: tuple[int, int] = (16, 16)
+
+    def validate_launch(self, global_size: tuple[int, int], device: DeviceSpec) -> None:
+        """Check the launch geometry the way an OpenCL runtime would."""
+        if len(global_size) != 2:
+            raise KernelLaunchError(f"global size must be 2-D, got {global_size!r}")
+        gx, gy = global_size
+        lx, ly = self.local_size
+        if lx <= 0 or ly <= 0:
+            raise KernelLaunchError(f"invalid local size {self.local_size!r}")
+        if lx * ly > device.max_work_group_size:
+            raise KernelLaunchError(
+                f"work group {self.local_size!r} exceeds the device limit "
+                f"{device.max_work_group_size}"
+            )
+        if gx <= 0 or gy <= 0:
+            raise KernelLaunchError(f"global size must be positive, got {global_size!r}")
+        if gx % lx or gy % ly:
+            raise KernelLaunchError(
+                f"global size {global_size!r} is not a multiple of the local size "
+                f"{self.local_size!r}"
+            )
+
+    @abc.abstractmethod
+    def run_group(self, ctx: WorkGroupContext) -> None:
+        """Execute one work group (vectorised over its work items)."""

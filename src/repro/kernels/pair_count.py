@@ -1,0 +1,148 @@
+"""The batmap pair-count kernel (Section III-B of the paper).
+
+Work decomposition, exactly as the paper describes it:
+
+* the global size is ``n x n`` (or one ``k x k`` tile of it), the work-group
+  size is 16 x 16;
+* the work item with local index ``(li, lj)`` in the group with global offset
+  ``(gi, gj)`` is responsible for the pair of batmaps ``(gi + li, gj + lj)``;
+* the group repeatedly copies one 16-integer-wide slice of each of its 16 row
+  batmaps and 16 column batmaps from global memory into two 16 x 16 shared
+  arrays (these loads are coalesced: 16 consecutive 32-bit words per half
+  warp), synchronises, and lets every work item compare its pair's slices
+  with the branch-free SWAR word comparison;
+* batmaps of different widths are folded onto each other by indexing words
+  modulo the batmap's width, and word positions beyond the pair's larger
+  width are masked out of the count (predication, not branching).
+
+The simulator executes each work group as a handful of vectorised NumPy
+operations while recording the same global-memory traffic, shared-memory
+traffic and scalar-operation counts the per-thread OpenCL kernel would
+generate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.swar import count_matches_per_word
+from repro.gpu.kernel import Kernel, WorkGroupContext
+
+__all__ = ["PairCountKernel"]
+
+#: scalar operations per 32-bit word comparison: xor, or, sub, xor, and, and,
+#: four shifts, three adds, one mask — the instruction sequence of Section III-A.
+OPS_PER_WORD_COMPARISON = 14
+
+
+class PairCountKernel(Kernel):
+    """Count |S_a ∩ S_b| for every batmap pair (a, b) inside one tile.
+
+    Parameters
+    ----------
+    offsets, widths:
+        Word offset and word width of every batmap inside the packed device
+        buffer (sorted order), as produced by
+        :meth:`repro.core.collection.BatmapCollection.device_buffer`.
+    n_batmaps:
+        Total number of batmaps (pairs outside this range are ignored).
+    row_base, col_base:
+        Sorted-index origin of the tile being processed.
+    result_buffer / batmap_buffer:
+        Names of the device buffers holding the output tile (int64, flattened
+        ``tile_shape``) and the packed batmap words.
+    tile_shape:
+        Shape of the output tile (rows, cols); the launch's global size must
+        equal this shape padded up to a multiple of the work-group size.
+    """
+
+    name = "batmap_pair_count"
+
+    def __init__(
+        self,
+        offsets: np.ndarray,
+        widths: np.ndarray,
+        n_batmaps: int,
+        *,
+        row_base: int = 0,
+        col_base: int = 0,
+        tile_shape: tuple[int, int] | None = None,
+        batmap_buffer: str = "batmaps",
+        result_buffer: str = "results",
+        local_size: tuple[int, int] = (16, 16),
+    ) -> None:
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        self.widths = np.asarray(widths, dtype=np.int64)
+        if self.offsets.shape != self.widths.shape:
+            raise ValueError("offsets and widths must have the same length")
+        if np.any(self.widths <= 0):
+            raise ValueError("every batmap must have a positive word width")
+        self.n_batmaps = int(n_batmaps)
+        self.row_base = int(row_base)
+        self.col_base = int(col_base)
+        self.tile_shape = tile_shape
+        self.batmap_buffer = batmap_buffer
+        self.result_buffer = result_buffer
+        self.local_size = tuple(local_size)
+
+    # ------------------------------------------------------------------ #
+    def run_group(self, ctx: WorkGroupContext) -> None:
+        lx, ly = ctx.local_size
+        gi, gj = ctx.global_offset
+        rows = self.row_base + gi + np.arange(lx)
+        cols = self.col_base + gj + np.arange(ly)
+        valid_rows = rows < self.n_batmaps
+        valid_cols = cols < self.n_batmaps
+        if not valid_rows.any() or not valid_cols.any():
+            return
+
+        # Width/offset of each batmap handled by this group; invalid lanes get
+        # width 1 so the modulo arithmetic stays defined, and are masked later.
+        safe_rows = np.where(valid_rows, rows, 0)
+        safe_cols = np.where(valid_cols, cols, 0)
+        w_rows = np.where(valid_rows, self.widths[safe_rows], 1)
+        w_cols = np.where(valid_cols, self.widths[safe_cols], 1)
+        o_rows = np.where(valid_rows, self.offsets[safe_rows], 0)
+        o_cols = np.where(valid_cols, self.offsets[safe_cols], 0)
+
+        # Every pair is compared over max(w_a, w_b) word positions.
+        pair_limit = np.maximum(w_rows[:, None], w_cols[None, :])
+        group_limit = int(pair_limit[np.outer(valid_rows, valid_cols)].max())
+        n_slices = -(-group_limit // ly)
+
+        shared_a = ctx.alloc_shared("slice_a", (lx, ly), np.uint32)
+        shared_b = ctx.alloc_shared("slice_b", (lx, ly), np.uint32)
+        counts = np.zeros((lx, ly), dtype=np.int64)
+
+        for s in range(n_slices):
+            word_pos = s * ly + np.arange(ly)
+            # Each work item copies one word of a row batmap and one of a
+            # column batmap into shared memory (coalesced 16-word reads).
+            idx_a = o_rows[:, None] + (word_pos[None, :] % w_rows[:, None])
+            idx_b = o_cols[:, None] + (word_pos[None, :] % w_cols[:, None])
+            a = ctx.read_global(self.batmap_buffer, idx_a)
+            b = ctx.read_global(self.batmap_buffer, idx_b)
+            ctx.store_shared("slice_a", a.astype(np.uint32))
+            ctx.store_shared("slice_b", b.astype(np.uint32))
+            ctx.barrier()
+
+            # All 16x16 pairs compare their 16-word slices (branch free).
+            per_word = count_matches_per_word(
+                shared_a[:, None, :], shared_b[None, :, :]
+            ).astype(np.int64)
+            mask = word_pos[None, None, :] < pair_limit[:, :, None]
+            counts += (per_word * mask).sum(axis=2)
+            ctx.add_ops(lx * ly * ly * OPS_PER_WORD_COMPARISON)
+            ctx.barrier()
+
+        if self.tile_shape is None:
+            raise ValueError("tile_shape must be set before launching the kernel")
+        tile_rows, tile_cols = self.tile_shape
+        local_rows = gi + np.arange(lx)
+        local_cols = gj + np.arange(ly)
+        in_tile = (local_rows[:, None] < tile_rows) & (local_cols[None, :] < tile_cols)
+        writable = in_tile & valid_rows[:, None] & valid_cols[None, :]
+        if not writable.any():
+            return
+        flat = local_rows[:, None] * tile_cols + local_cols[None, :]
+        ctx.write_global(self.result_buffer, flat[writable], counts[writable])

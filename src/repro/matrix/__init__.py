@@ -1,0 +1,21 @@
+"""Sparse boolean matrix multiplication and join-project applications."""
+
+from repro.matrix.boolean import SparseBooleanMatrix
+from repro.matrix.joinproject import Relation, join_project, join_project_counting
+from repro.matrix.multiply import (
+    multiply_batmap,
+    multiply_batmap_device,
+    multiply_dense,
+    multiply_merge,
+)
+
+__all__ = [
+    "SparseBooleanMatrix",
+    "Relation",
+    "join_project",
+    "join_project_counting",
+    "multiply_dense",
+    "multiply_merge",
+    "multiply_batmap",
+    "multiply_batmap_device",
+]

@@ -1,0 +1,89 @@
+"""Sparse boolean matrices as families of sets.
+
+The paper's introduction lists sparse boolean matrix multiplication and
+database join-projects as the other core applications of fast set
+intersection: for ``M`` and ``M'``, the product asks for all pairs ``(i, j)``
+with ``A_i ∩ B_j ≠ ∅`` where ``A_i`` is the set of non-zero columns of row
+``i`` of ``M`` and ``B_j`` the set of non-zero rows of column ``j`` of
+``M'``.  This module provides the set-view container those applications use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import require_positive
+
+__all__ = ["SparseBooleanMatrix"]
+
+
+class SparseBooleanMatrix:
+    """A boolean matrix stored as per-row sets of non-zero column indices."""
+
+    def __init__(self, n_rows: int, n_cols: int, rows: list[np.ndarray] | None = None) -> None:
+        require_positive(n_rows, "n_rows")
+        require_positive(n_cols, "n_cols")
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+        if rows is None:
+            rows = [np.array([], dtype=np.int64) for _ in range(n_rows)]
+        if len(rows) != n_rows:
+            raise ValueError(f"expected {n_rows} rows, got {len(rows)}")
+        self.rows: list[np.ndarray] = []
+        for r, cols in enumerate(rows):
+            arr = np.unique(np.asarray(cols, dtype=np.int64))
+            if arr.size and (arr.min() < 0 or arr.max() >= n_cols):
+                raise ValueError(f"row {r} has a column index outside [0, {n_cols})")
+            self.rows.append(arr)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "SparseBooleanMatrix":
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise ValueError("dense matrix must be 2-D")
+        rows = [np.nonzero(dense[r])[0].astype(np.int64) for r in range(dense.shape[0])]
+        return cls(dense.shape[0], dense.shape[1], rows)
+
+    @classmethod
+    def random(cls, n_rows: int, n_cols: int, density: float,
+               rng: np.random.Generator | int | None = None) -> "SparseBooleanMatrix":
+        from repro.utils.rng import make_rng
+        rng = make_rng(rng)
+        dense = rng.random((n_rows, n_cols)) < density
+        return cls.from_dense(dense)
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros((self.n_rows, self.n_cols), dtype=bool)
+        for r, cols in enumerate(self.rows):
+            out[r, cols] = True
+        return out
+
+    # ------------------------------------------------------------------ #
+    def row(self, r: int) -> np.ndarray:
+        return self.rows[r]
+
+    def column_sets(self) -> list[np.ndarray]:
+        """For each column, the set of rows with a non-zero entry (the transpose's rows)."""
+        cols: list[list[int]] = [[] for _ in range(self.n_cols)]
+        for r, row_cols in enumerate(self.rows):
+            for c in row_cols.tolist():
+                cols[c].append(r)
+        return [np.asarray(v, dtype=np.int64) for v in cols]
+
+    def transpose(self) -> "SparseBooleanMatrix":
+        return SparseBooleanMatrix(self.n_cols, self.n_rows, self.column_sets())
+
+    @property
+    def nnz(self) -> int:
+        return int(sum(r.size for r in self.rows))
+
+    @property
+    def density(self) -> float:
+        return self.nnz / (self.n_rows * self.n_cols)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseBooleanMatrix):
+            return NotImplemented
+        return (self.n_rows == other.n_rows and self.n_cols == other.n_cols
+                and all(np.array_equal(a, b) for a, b in zip(self.rows, other.rows)))

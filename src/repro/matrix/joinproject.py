@@ -1,0 +1,94 @@
+"""Join-project queries as sparse boolean matrix products.
+
+The paper's second motivating application (citing Amossen & Pagh, ICDT 2009):
+given relations ``R(a, k)`` and ``S(k, c)``, the *join-project*
+``π_{a,c}(R ⋈ S)`` — join on the shared attribute ``k`` followed by a
+duplicate-eliminating projection — is exactly sparse boolean matrix
+multiplication: the output contains ``(a, c)`` iff the set of ``k`` values
+paired with ``a`` in ``R`` intersects the set of ``k`` values paired with
+``c`` in ``S``.
+
+This module provides a small relational layer on top of
+:mod:`repro.matrix.multiply`, so the batmap engine can answer such queries
+directly from tuple lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.matrix.boolean import SparseBooleanMatrix
+from repro.matrix.multiply import multiply_batmap, multiply_dense
+
+__all__ = ["Relation", "join_project", "join_project_counting"]
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A binary relation given as an array of (left, right) integer pairs."""
+
+    pairs: np.ndarray
+    left_domain: int
+    right_domain: int
+
+    def __post_init__(self) -> None:
+        pairs = np.asarray(self.pairs, dtype=np.int64)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValueError("pairs must be an (N, 2) array")
+        if pairs.size:
+            if pairs[:, 0].min() < 0 or pairs[:, 0].max() >= self.left_domain:
+                raise ValueError("left attribute value out of domain")
+            if pairs[:, 1].min() < 0 or pairs[:, 1].max() >= self.right_domain:
+                raise ValueError("right attribute value out of domain")
+        object.__setattr__(self, "pairs", pairs)
+
+    @classmethod
+    def from_tuples(cls, tuples, left_domain: int, right_domain: int) -> "Relation":
+        return cls(np.asarray(list(tuples), dtype=np.int64).reshape(-1, 2),
+                   left_domain, right_domain)
+
+    def to_matrix(self) -> SparseBooleanMatrix:
+        """Rows indexed by the left attribute, columns by the right attribute."""
+        rows: list[list[int]] = [[] for _ in range(self.left_domain)]
+        for left, right in self.pairs.tolist():
+            rows[left].append(right)
+        return SparseBooleanMatrix(self.left_domain, self.right_domain,
+                                   [np.asarray(r, dtype=np.int64) for r in rows])
+
+    @property
+    def cardinality(self) -> int:
+        return int(np.unique(self.pairs, axis=0).shape[0]) if self.pairs.size else 0
+
+
+def join_project_counting(
+    r: Relation,
+    s: Relation,
+    *,
+    use_batmaps: bool = True,
+    rng=None,
+) -> np.ndarray:
+    """Witness counts of the join-project: entry (a, c) = |{k : (a,k) ∈ R, (k,c) ∈ S}|."""
+    if r.right_domain != s.left_domain:
+        raise ValueError(
+            f"join attribute domains differ: {r.right_domain} vs {s.left_domain}"
+        )
+    m_r = r.to_matrix()
+    m_s = s.to_matrix()
+    if use_batmaps:
+        return multiply_batmap(m_r, m_s, rng=rng)
+    return multiply_dense(m_r, m_s)
+
+
+def join_project(
+    r: Relation,
+    s: Relation,
+    *,
+    use_batmaps: bool = True,
+    rng=None,
+) -> set[tuple[int, int]]:
+    """The join-project result itself: all (a, c) pairs with at least one witness."""
+    counts = join_project_counting(r, s, use_batmaps=use_batmaps, rng=rng)
+    rows, cols = np.nonzero(counts)
+    return {(int(a), int(c)) for a, c in zip(rows, cols)}

@@ -1,0 +1,29 @@
+"""The frequent pair / itemset mining pipeline built on batmaps.
+
+* :func:`~repro.mining.preprocess.preprocess` — host-side batmap construction.
+* :class:`~repro.mining.pair_mining.BatmapPairMiner` — the end-to-end pipeline
+  (preprocess → device pair counting → repair/threshold).
+* :class:`~repro.mining.itemsets.BatmapItemsetMiner` — levelwise extension to
+  itemsets of arbitrary size.
+* :mod:`~repro.mining.postprocess` — count reordering and failed-insertion repair.
+* :mod:`~repro.mining.support` — result containers with phase timing.
+"""
+
+from repro.mining.itemsets import BatmapItemsetMiner, ItemsetMiningResult
+from repro.mining.pair_mining import BatmapPairMiner
+from repro.mining.postprocess import reorder_counts, repair_pair_counts, upper_triangle_pairs
+from repro.mining.preprocess import PreprocessedData, preprocess
+from repro.mining.support import MiningReport, PairSupports
+
+__all__ = [
+    "BatmapPairMiner",
+    "BatmapItemsetMiner",
+    "ItemsetMiningResult",
+    "PreprocessedData",
+    "preprocess",
+    "reorder_counts",
+    "repair_pair_counts",
+    "upper_triangle_pairs",
+    "MiningReport",
+    "PairSupports",
+]

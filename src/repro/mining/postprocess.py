@@ -1,0 +1,88 @@
+"""Host-side postprocessing: repair of failed insertions and result assembly.
+
+Section III-C: "Let F_b be the set of items i for which insertion of value b
+in batmap B_i failed, and let A_b denote all items in input associated with
+b.  For all transactions b, we construct the pairs (min(a,c), max(a,c)) for
+which a ∈ F_b and c ∈ A_b ... Whenever a subresult Z_{p,q} is returned from
+GPU we extend it with the pairs found in M_{p,q} before reporting."
+
+The device-side counts miss every transaction ``b`` for a pair ``{a, c}``
+whenever ``b``'s insertion failed in *either* batmap, so the repair adds one
+unit of support per such ``(b, {a, c})`` — taking care to add it exactly once
+even when the insertion failed on both sides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.collection import BatmapCollection
+from repro.datasets.transactions import TransactionDatabase
+
+__all__ = ["repair_pair_counts", "reorder_counts", "upper_triangle_pairs"]
+
+
+def reorder_counts(counts_sorted: np.ndarray, collection: BatmapCollection) -> np.ndarray:
+    """Convert a count matrix from device (width-sorted) order to original item order."""
+    n = len(collection)
+    if counts_sorted.shape != (n, n):
+        raise ValueError(
+            f"count matrix shape {counts_sorted.shape} does not match collection size {n}"
+        )
+    order = collection.order
+    out = np.zeros_like(counts_sorted)
+    # counts_sorted[a, b] refers to original items order[a], order[b]
+    out[np.ix_(order, order)] = counts_sorted
+    return out
+
+
+def repair_pair_counts(
+    counts: np.ndarray,
+    collection: BatmapCollection,
+    database: TransactionDatabase,
+) -> np.ndarray:
+    """Add the contributions of failed insertions to an original-order count matrix.
+
+    ``counts`` must be indexed by original item ids (use :func:`reorder_counts`
+    first if it came straight from the device driver).  Returns a new matrix;
+    the input is not modified.
+    """
+    n = len(collection)
+    if counts.shape != (n, n):
+        raise ValueError(
+            f"count matrix shape {counts.shape} does not match collection size {n}"
+        )
+    repaired = counts.copy()
+    failures = collection.failed_insertions()   # transaction b -> items F_b
+    if not failures:
+        return repaired
+    for b, failed_items in failures.items():
+        transaction = database.transactions[b]
+        failed_set = set(failed_items)
+        items = transaction.tolist()
+        # For each unordered pair {a, c} of items of transaction b with at
+        # least one failed insertion, the device missed b's contribution once.
+        for ai in range(len(items)):
+            a = items[ai]
+            for ci in range(ai + 1, len(items)):
+                c = items[ci]
+                if a in failed_set or c in failed_set:
+                    repaired[a, c] += 1
+                    repaired[c, a] += 1
+        # The diagonal (item supports) also misses b for failed items.
+        for a in failed_set:
+            repaired[a, a] += 1
+    return repaired
+
+
+def upper_triangle_pairs(counts: np.ndarray, min_support: int) -> dict[tuple[int, int], int]:
+    """Extract ``{(i, j): support}`` for ``i < j`` with support >= ``min_support``."""
+    if counts.ndim != 2 or counts.shape[0] != counts.shape[1]:
+        raise ValueError("counts must be a square matrix")
+    iu, ju = np.triu_indices(counts.shape[0], k=1)
+    values = counts[iu, ju]
+    keep = values >= min_support
+    return {
+        (int(i), int(j)): int(v)
+        for i, j, v in zip(iu[keep], ju[keep], values[keep])
+    }

@@ -1,0 +1,98 @@
+"""Host-side preprocessing for batmap frequent pair mining (Section III-C).
+
+Steps, in the order the paper describes them:
+
+1. (optional) drop items below the support threshold and relabel the
+   survivors densely — "All existing frequent itemset methods do this";
+2. convert the transaction database to the vertical format (one tidlist per
+   item);
+3. build one batmap per tidlist, all sharing the same hash family, recording
+   failed cuckoo insertions;
+4. sort the batmaps by increasing width so the 16-wide device work groups
+   are not dominated by one long batmap.
+
+The output bundles everything the device phase and the repair phase need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.collection import BatmapCollection
+from repro.core.config import BatmapConfig, DEFAULT_CONFIG
+from repro.datasets.transactions import TransactionDatabase
+from repro.utils.rng import RngLike
+from repro.utils.validation import require
+
+__all__ = ["PreprocessedData", "preprocess"]
+
+
+@dataclass
+class PreprocessedData:
+    """Everything produced by the host-side preprocessing phase."""
+
+    collection: BatmapCollection
+    database: TransactionDatabase          #: the (possibly filtered/relabelled) database
+    item_map: np.ndarray                   #: new item id -> original item id
+    min_support: int
+
+    @property
+    def n_items(self) -> int:
+        return len(self.collection)
+
+    @property
+    def universe_size(self) -> int:
+        """Number of transactions = the batmap element universe."""
+        return self.collection.universe_size
+
+    @property
+    def batmap_bytes(self) -> int:
+        """Size of the packed batmap buffer shipped to the device."""
+        return self.collection.memory_bytes
+
+    def failed_insertions(self) -> dict[int, list[int]]:
+        """Transaction id -> item ids whose insertion of that transaction failed (F_b)."""
+        return self.collection.failed_insertions()
+
+
+def preprocess(
+    database: TransactionDatabase,
+    *,
+    min_support: int = 1,
+    config: BatmapConfig = DEFAULT_CONFIG,
+    rng: RngLike = None,
+    filter_items: bool = True,
+) -> PreprocessedData:
+    """Build the batmap collection for a transaction database.
+
+    Parameters
+    ----------
+    min_support:
+        Items with support below this are removed before batmaps are built
+        (when ``filter_items`` is true), mirroring the preprocessing every
+        competing miner performs.
+    """
+    require(min_support >= 1, f"min_support must be >= 1, got {min_support}")
+    if filter_items and min_support > 1:
+        filtered, kept = database.filter_by_support(min_support)
+    else:
+        filtered, kept = database, np.arange(database.n_items, dtype=np.int64)
+    if filtered.n_transactions == 0:
+        raise ValueError("cannot preprocess an empty transaction database")
+
+    tidlists = filtered.tidlists()
+    universe = max(1, filtered.n_transactions)
+    collection = BatmapCollection.build(
+        tidlists,
+        universe_size=universe,
+        config=config,
+        rng=rng,
+    )
+    return PreprocessedData(
+        collection=collection,
+        database=filtered,
+        item_map=kept,
+        min_support=min_support,
+    )

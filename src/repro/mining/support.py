@@ -1,0 +1,103 @@
+"""Result containers for frequent pair mining."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.timer import PhaseTimer
+
+__all__ = ["PairSupports", "MiningReport"]
+
+
+@dataclass
+class PairSupports:
+    """Supports of item pairs, indexed by original item ids.
+
+    ``counts[i, j]`` is the support of the pair ``{i, j}`` (symmetric); the
+    diagonal holds single-item supports.  Convenience accessors expose the
+    thresholded pair dictionary, top-k queries and comparisons with reference
+    results.
+    """
+
+    counts: np.ndarray
+    item_ids: np.ndarray  #: original item id of each row/column
+
+    def __post_init__(self) -> None:
+        if self.counts.ndim != 2 or self.counts.shape[0] != self.counts.shape[1]:
+            raise ValueError("counts must be a square matrix")
+        if self.item_ids.shape != (self.counts.shape[0],):
+            raise ValueError("item_ids length must match the count matrix")
+
+    @property
+    def n_items(self) -> int:
+        return int(self.counts.shape[0])
+
+    def support(self, i: int, j: int) -> int:
+        """Support of the pair of *original* item ids ``{i, j}`` (or of item ``i`` if i == j)."""
+        a = self._local(i)
+        b = self._local(j)
+        return int(self.counts[a, b])
+
+    def _local(self, original_id: int) -> int:
+        hits = np.nonzero(self.item_ids == original_id)[0]
+        if hits.size == 0:
+            raise KeyError(f"item {original_id} is not present in the result")
+        return int(hits[0])
+
+    def frequent_pairs(self, min_support: int) -> dict[tuple[int, int], int]:
+        """All pairs (original ids, i < j) with support >= min_support."""
+        iu, ju = np.triu_indices(self.n_items, k=1)
+        values = self.counts[iu, ju]
+        keep = values >= min_support
+        out: dict[tuple[int, int], int] = {}
+        for a, b, v in zip(iu[keep], ju[keep], values[keep]):
+            i = int(self.item_ids[a])
+            j = int(self.item_ids[b])
+            key = (i, j) if i < j else (j, i)
+            out[key] = int(v)
+        return out
+
+    def top_k(self, k: int) -> list[tuple[tuple[int, int], int]]:
+        """The ``k`` most supported pairs, descending by support (ties by item ids)."""
+        pairs = self.frequent_pairs(1)
+        ranked = sorted(pairs.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:k]
+
+    def total_pairs_with_support(self, min_support: int) -> int:
+        return len(self.frequent_pairs(min_support))
+
+
+@dataclass
+class MiningReport:
+    """Full output of a batmap pair-mining run: results, timing, device statistics."""
+
+    supports: PairSupports
+    timers: PhaseTimer = field(default_factory=PhaseTimer)
+    device_seconds: float = 0.0
+    transfer_seconds: float = 0.0
+    device_bytes: int = 0
+    achieved_bandwidth_gbps: float = 0.0
+    coalescing_efficiency: float = 1.0
+    batmap_bytes: int = 0
+    failed_insertions: int = 0
+    tiles: int = 0
+
+    @property
+    def preprocess_seconds(self) -> float:
+        return self.timers.get("preprocess")
+
+    @property
+    def counting_seconds(self) -> float:
+        """Pure pair-generation time: the device phase (Figure 6's quantity)."""
+        return self.device_seconds
+
+    @property
+    def postprocess_seconds(self) -> float:
+        return self.timers.get("postprocess")
+
+    @property
+    def total_seconds(self) -> float:
+        """Total including pre- and postprocessing (Figure 7's quantity)."""
+        return self.timers.total + self.device_seconds + self.transfer_seconds

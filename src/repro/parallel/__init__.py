@@ -1,0 +1,19 @@
+"""CPU parallelism models: multi-core SWAR throughput (Fig. 11) and split scaling (Fig. 9)."""
+
+from repro.parallel.cpu import (
+    CpuThroughputPoint,
+    cpu_throughput_series,
+    measure_single_core_throughput,
+    model_multicore_throughput,
+)
+from repro.parallel.scaling import ScalingPoint, measure_split_scaling, relative_speedups
+
+__all__ = [
+    "CpuThroughputPoint",
+    "measure_single_core_throughput",
+    "model_multicore_throughput",
+    "cpu_throughput_series",
+    "ScalingPoint",
+    "measure_split_scaling",
+    "relative_speedups",
+]

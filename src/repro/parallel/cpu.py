@@ -1,0 +1,121 @@
+"""CPU-side batmap word comparison and its multi-core throughput model (Figure 11).
+
+The paper's Figure 11 measures the memory throughput of the *CPU* version of
+the batmap comparison (the same SWAR counting code, run over two 20 MB
+arrays) on 1, 2, 4 and 8 cores, and finds that throughput saturates around 4
+cores at ~7.6 GB/s — almost 5x below the 36.2 GB/s the GPU sustains.  The
+point is that the comparison is memory-bound, so extra cores stop helping
+once the socket's memory bandwidth is exhausted.
+
+This module provides:
+
+* :func:`measure_single_core_throughput` — an actual measurement of the SWAR
+  comparison throughput of this Python/NumPy implementation (one core);
+* :func:`model_multicore_throughput` — the bandwidth-saturation model
+  ``min(cores * single_core, memory_bandwidth)`` used to extend the
+  measurement to multiple cores (process-level parallelism would only
+  measure the operating system, not the algorithm);
+* :func:`cpu_throughput_series` — the Figure 11 series.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.swar import count_matches
+from repro.gpu.device import XEON_5462, DeviceSpec
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.validation import require_positive
+
+__all__ = [
+    "CpuThroughputPoint",
+    "measure_single_core_throughput",
+    "model_multicore_throughput",
+    "cpu_throughput_series",
+]
+
+#: bytes touched per word comparison: one 32-bit word from each operand
+BYTES_PER_COMPARISON = 8
+
+
+@dataclass(frozen=True)
+class CpuThroughputPoint:
+    """Throughput of the CPU batmap comparison at a given core count."""
+
+    cores: int
+    gbytes_per_second: float
+    seconds: float
+    modelled: bool
+
+
+def measure_single_core_throughput(
+    n_words: int = 5_000_000,
+    repeats: int = 3,
+    *,
+    rng: RngLike = None,
+) -> CpuThroughputPoint:
+    """Measure the SWAR comparison throughput of one core on non-cache-resident data.
+
+    Mirrors the paper's experiment: two arrays of ``n_words`` 32-bit integers
+    (5,000,000 words = 20 MB each by default), compared ``repeats`` times.
+    """
+    require_positive(n_words, "n_words")
+    require_positive(repeats, "repeats")
+    rng = make_rng(rng)
+    x = rng.integers(0, 2**32, size=n_words, dtype=np.uint32)
+    y = rng.integers(0, 2**32, size=n_words, dtype=np.uint32)
+    count_matches(x, y)  # warm-up (page in the arrays)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        count_matches(x, y)
+    elapsed = time.perf_counter() - start
+    total_bytes = repeats * n_words * BYTES_PER_COMPARISON
+    return CpuThroughputPoint(
+        cores=1,
+        gbytes_per_second=total_bytes / elapsed / 1e9,
+        seconds=elapsed,
+        modelled=False,
+    )
+
+
+def model_multicore_throughput(
+    single_core_gbps: float,
+    cores: int,
+    *,
+    device: DeviceSpec = XEON_5462,
+    parallel_efficiency: float = 0.95,
+) -> float:
+    """Throughput of ``cores`` cores under the memory-bandwidth saturation model.
+
+    Per-core throughput scales almost linearly until the aggregate demand
+    reaches the socket's memory bandwidth; beyond that point, extra cores
+    only share the same bandwidth — which is exactly the plateau of Figure 11.
+    """
+    require_positive(single_core_gbps, "single_core_gbps")
+    require_positive(cores, "cores")
+    scaled = single_core_gbps * cores * parallel_efficiency ** (cores - 1)
+    return float(min(scaled, device.memory_bandwidth_gbps * 0.6))
+
+
+def cpu_throughput_series(
+    core_counts=(1, 2, 4, 8),
+    *,
+    n_words: int = 2_000_000,
+    device: DeviceSpec = XEON_5462,
+    rng: RngLike = None,
+) -> list[CpuThroughputPoint]:
+    """The Figure 11 series: measured single-core point plus modelled multi-core points."""
+    base = measure_single_core_throughput(n_words=n_words, rng=rng)
+    out: list[CpuThroughputPoint] = []
+    for cores in core_counts:
+        if cores == 1:
+            out.append(base)
+            continue
+        gbps = model_multicore_throughput(base.gbytes_per_second, cores, device=device)
+        seconds = base.seconds * base.gbytes_per_second / gbps
+        out.append(CpuThroughputPoint(cores=cores, gbytes_per_second=gbps,
+                                      seconds=seconds, modelled=True))
+    return out

@@ -1,0 +1,83 @@
+"""Simulated multi-core scaling of the CPU miners (Figure 9).
+
+The paper simulates parallel execution of Apriori and FP-growth on ``i``
+cores by splitting the instance into ``i`` equal parts, running the miner on
+each part independently and taking the *maximum* part time as the parallel
+execution time.  Neither algorithm benefits noticeably from more than four
+cores: per-part fixed costs (Apriori's quadratic candidate structure, tree
+construction overheads) do not shrink with the split, and the final merge of
+per-part counts is serial.
+
+:func:`measure_split_scaling` reproduces that methodology for any miner
+callable; :func:`relative_speedups` turns the times into the speedup curve
+plotted in the figure.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.datasets.transactions import TransactionDatabase
+from repro.utils.validation import require, require_positive
+
+__all__ = ["ScalingPoint", "measure_split_scaling", "relative_speedups"]
+
+#: A miner callable: (transactions, n_items, min_support) -> anything.
+MinerFn = Callable[[list, int, int], object]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Timing of one simulated core count."""
+
+    cores: int
+    seconds: float          #: max over the per-part times (the parallel makespan)
+    part_seconds: tuple[float, ...]
+
+    @property
+    def imbalance(self) -> float:
+        """Max/mean part time — 1.0 means perfectly balanced parts."""
+        mean = sum(self.part_seconds) / len(self.part_seconds)
+        return self.seconds / mean if mean > 0 else 1.0
+
+
+def measure_split_scaling(
+    miner: MinerFn,
+    database: TransactionDatabase,
+    min_support: int,
+    core_counts: Sequence[int] = (1, 2, 4, 8),
+    *,
+    repeats: int = 1,
+) -> list[ScalingPoint]:
+    """Run ``miner`` on instance splits and report the simulated parallel times."""
+    require_positive(min_support, "min_support")
+    require_positive(repeats, "repeats")
+    require(len(core_counts) > 0, "core_counts must not be empty")
+    points: list[ScalingPoint] = []
+    for cores in core_counts:
+        require_positive(cores, "cores")
+        parts = database.split(cores)
+        part_times: list[float] = []
+        for part in parts:
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                miner(part.transactions, part.n_items, min_support)
+                best = min(best, time.perf_counter() - start)
+            part_times.append(best)
+        points.append(ScalingPoint(
+            cores=cores,
+            seconds=max(part_times),
+            part_seconds=tuple(part_times),
+        ))
+    return points
+
+
+def relative_speedups(points: Sequence[ScalingPoint]) -> dict[int, float]:
+    """Speedup of every point relative to the single-core (or smallest) run."""
+    require(len(points) > 0, "points must not be empty")
+    baseline = min(points, key=lambda p: p.cores)
+    return {p.cores: baseline.seconds / p.seconds if p.seconds > 0 else float("inf")
+            for p in points}

@@ -1,0 +1,40 @@
+"""Small shared utilities: bit tricks, timers, RNG handling, validation."""
+
+from repro.utils.bits import (
+    next_power_of_two,
+    is_power_of_two,
+    ilog2,
+    popcount32,
+    popcount_array,
+    pack_bytes_to_words,
+    unpack_words_to_bytes,
+)
+from repro.utils.timer import Timer, PhaseTimer
+from repro.utils.rng import make_rng, derive_seed
+from repro.utils.memory import sizeof_array, human_bytes
+from repro.utils.validation import (
+    require,
+    require_positive,
+    require_in_range,
+    require_power_of_two,
+)
+
+__all__ = [
+    "next_power_of_two",
+    "is_power_of_two",
+    "ilog2",
+    "popcount32",
+    "popcount_array",
+    "pack_bytes_to_words",
+    "unpack_words_to_bytes",
+    "Timer",
+    "PhaseTimer",
+    "make_rng",
+    "derive_seed",
+    "sizeof_array",
+    "human_bytes",
+    "require",
+    "require_positive",
+    "require_in_range",
+    "require_power_of_two",
+]

@@ -1,0 +1,20 @@
+"""Memory-size accounting helpers used by the space model and Fig. 5 harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sizeof_array(arr: np.ndarray) -> int:
+    """Return the payload size of a NumPy array in bytes (ignores object overhead)."""
+    return int(arr.nbytes)
+
+
+def human_bytes(n: float) -> str:
+    """Format a byte count for logs, e.g. ``human_bytes(3 * 2**20) == '3.00 MiB'``."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024.0 or unit == "TiB":
+            return f"{n:.2f} {unit}"
+        n /= 1024.0
+    raise AssertionError("unreachable")

@@ -1,0 +1,89 @@
+"""Lightweight timers used by the mining pipeline and benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """A simple start/stop wall-clock timer.
+
+    Usage::
+
+        t = Timer()
+        with t:
+            work()
+        print(t.elapsed)
+    """
+
+    elapsed: float = 0.0
+    _start: float | None = None
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError("Timer already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer was not started")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall-clock time per named phase (preprocess / device / postprocess).
+
+    The paper reports pure pair-generation time (Fig. 6) separately from the
+    total including pre- and postprocessing (Fig. 7), so the pipeline tracks
+    phases explicitly.
+    """
+
+    phases: dict[str, float] = field(default_factory=dict)
+
+    def time(self, name: str):
+        return _PhaseContext(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative duration for phase {name!r}: {seconds}")
+        self.phases[name] = self.phases.get(name, 0.0) + seconds
+
+    def get(self, name: str) -> float:
+        return self.phases.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.phases.values()))
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.phases)
+
+
+class _PhaseContext:
+    def __init__(self, owner: PhaseTimer, name: str) -> None:
+        self._owner = owner
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_PhaseContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._owner.add(self._name, time.perf_counter() - self._start)

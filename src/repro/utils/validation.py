@@ -1,0 +1,26 @@
+"""Argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from repro.utils.bits import is_power_of_two
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def require_in_range(value: float, lo: float, hi: float, name: str) -> None:
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def require_power_of_two(value: int, name: str) -> None:
+    if not is_power_of_two(value):
+        raise ValueError(f"{name} must be a power of two, got {value!r}")

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import BatmapConfig
+from repro.core.hashing import HashFamily
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_universe() -> int:
+    return 512
+
+
+@pytest.fixture
+def config() -> BatmapConfig:
+    return BatmapConfig(seed=7)
+
+
+@pytest.fixture
+def family(small_universe: int, config: BatmapConfig) -> HashFamily:
+    shift = config.shift_for_universe(small_universe)
+    return HashFamily.create(small_universe, shift=shift, rng=3)
+
+
+def random_sets(rng: np.random.Generator, n_sets: int, universe: int,
+                min_size: int = 0, max_size: int | None = None) -> list[np.ndarray]:
+    """Draw ``n_sets`` random subsets of ``{0..universe-1}``."""
+    max_size = max_size or max(1, universe // 2)
+    out = []
+    for _ in range(n_sets):
+        size = int(rng.integers(min_size, max_size + 1))
+        size = min(size, universe)
+        out.append(np.sort(rng.choice(universe, size=size, replace=False)))
+    return out

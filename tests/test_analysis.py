@@ -1,0 +1,187 @@
+"""Tests for the theory bounds, space models and throughput accounting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.space import (
+    MiningMemoryModel,
+    batmap_bytes,
+    bitmap_bytes,
+    collection_bytes,
+    information_theoretic_bits,
+    sorted_list_bytes,
+)
+from repro.analysis.theory import (
+    expected_moves_bound,
+    failure_probability_bound,
+    measure_insertion_behaviour,
+    recommended_range,
+)
+from repro.analysis.throughput import (
+    compute_throughput,
+    pairwise_input_bytes,
+    pairwise_input_elements,
+)
+from repro.core.config import BatmapConfig
+
+
+class TestTheory:
+    def test_failure_probability_decreases_with_range(self):
+        p1 = failure_probability_bound(1000, 4096)
+        p2 = failure_probability_bound(1000, 16384)
+        assert p2 < p1 < 1.0
+
+    def test_failure_probability_vacuous_when_r_too_small(self):
+        assert failure_probability_bound(1000, 2000) == 1.0
+
+    def test_expected_moves_bound_finite_when_r_large_enough(self):
+        moves = expected_moves_bound(1000, 4096)
+        assert np.isfinite(moves)
+        assert moves >= 2.0  # at least the two unavoidable placements
+        assert expected_moves_bound(1000, 2000) == float("inf")
+
+    def test_expected_moves_bound_dominates_empirical_moves(self):
+        """The bound is loose but must sit above the measured move count."""
+        exp = measure_insertion_behaviour(500, 8192, n_sets=3, rng=2)
+        bound = expected_moves_bound(500, 2048)
+        assert bound >= exp.moves_per_insert
+
+    def test_recommended_range(self):
+        r = recommended_range(1000, eps=0.5)
+        assert r >= 2500
+        assert r & (r - 1) == 0
+        with pytest.raises(ValueError):
+            recommended_range(1000, eps=0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            failure_probability_bound(0, 16)
+        with pytest.raises(ValueError):
+            expected_moves_bound(10, 0)
+
+    def test_empirical_behaviour_matches_theory(self):
+        """At r >= 2|S| failures are rare and moves per insert are O(1)."""
+        exp = measure_insertion_behaviour(300, 4096, n_sets=5, rng=0)
+        assert exp.failure_rate < 0.01
+        assert exp.moves_per_insert < 10
+        assert exp.elements_inserted == 1500
+
+    def test_empirical_overload_fails_often(self):
+        tight = measure_insertion_behaviour(300, 4096, n_sets=3, range_multiplier=1.0, rng=1)
+        roomy = measure_insertion_behaviour(300, 4096, n_sets=3, range_multiplier=4.0, rng=1)
+        assert tight.failure_rate >= roomy.failure_rate
+
+    def test_measure_validation(self):
+        with pytest.raises(ValueError):
+            measure_insertion_behaviour(10, 5)
+
+
+class TestSpaceModels:
+    def test_information_theoretic_bits(self):
+        assert information_theoretic_bits(0, 100) == 0.0
+        assert information_theoretic_bits(100, 100) == 0.0
+        mid = information_theoretic_bits(50, 100)
+        assert 90 < mid < 100  # log2 C(100,50) ~ 96.3
+        with pytest.raises(ValueError):
+            information_theoretic_bits(5, 4)
+
+    def test_batmap_space_story_for_sparse_sets(self):
+        """For sparse sets the batmap stays within a small constant factor of the
+        information-theoretic minimum, while the uncompressed bitmap does not
+        (its cost is fixed at m bits regardless of sparsity)."""
+        m = 100_000
+        size = 200  # 0.2% density, the regime the paper targets
+        batmap_bits = 8 * batmap_bytes(size, m)
+        bitmap_bits = 8 * bitmap_bytes(m)
+        optimal_bits = information_theoretic_bits(size, m)
+        assert batmap_bits < 16 * optimal_bits      # small constant factor
+        assert batmap_bits < bitmap_bits / 4        # far below the dense bitmap
+        assert bitmap_bits > 30 * optimal_bits      # the bitmap is nowhere near optimal
+
+    def test_bitmap_independent_of_set_size(self):
+        assert bitmap_bytes(10_000) == 4 * ((10_000 + 31) // 32)
+
+    def test_sorted_list_linear(self):
+        assert sorted_list_bytes(100) == 400
+        with pytest.raises(ValueError):
+            sorted_list_bytes(-1)
+
+    def test_collection_bytes_dispatch(self):
+        sizes = [10, 100, 1000]
+        m = 10_000
+        batmap_total = collection_bytes(sizes, m, "batmap")
+        bitmap_total = collection_bytes(sizes, m, "bitmap")
+        sorted_total = collection_bytes(sizes, m, "sorted")
+        assert sorted_total == 4 * sum(sizes)
+        assert bitmap_total == 3 * bitmap_bytes(m)
+        assert batmap_total > 0
+        with pytest.raises(ValueError):
+            collection_bytes(sizes, m, "banana")
+
+    def test_batmap_respects_compression_floor(self):
+        cfg = BatmapConfig()
+        m = 10_000_000
+        assert batmap_bytes(1, m, cfg) == 3 * cfg.min_range(m)
+
+
+class TestMiningMemoryModel:
+    def test_paper_scale_apriori_exceeds_6gb_at_64k_items(self):
+        model = MiningMemoryModel(total_items=10_000_000, n_items=64_000, density=0.05)
+        assert model.apriori_bytes() > 6 * 2**30
+        assert model.fpgrowth_bytes() < 6 * 2**30
+        assert model.batmap_bytes() < 6 * 2**30
+
+    def test_apriori_quadratic_others_linear(self):
+        small = MiningMemoryModel(10_000_000, 8_000, 0.05)
+        large = MiningMemoryModel(10_000_000, 32_000, 0.05)
+        apriori_growth = large.apriori_bytes() / small.apriori_bytes()
+        fp_growth = large.fpgrowth_bytes() / small.fpgrowth_bytes()
+        batmap_growth = large.batmap_bytes() / small.batmap_bytes()
+        assert apriori_growth > 8            # ~16x for a 4x increase in n
+        assert fp_growth < 2
+        assert batmap_growth < 6             # linear-ish in n
+
+    def test_transactions_and_tidlist_lengths(self):
+        model = MiningMemoryModel(10_000_000, 4_000, 0.05)
+        assert model.n_transactions == 50_000
+        assert model.avg_tidlist_length == 2_500
+
+    def test_series_covers_all_methods(self):
+        model = MiningMemoryModel(1_000_000, 1_000, 0.05)
+        series = model.series([1_000, 2_000, 4_000])
+        assert set(series) == {"apriori", "fpgrowth", "gpu_batmap", "bitmap"}
+        assert all(len(v) == 3 for v in series.values())
+        assert series["apriori"][-1] > series["apriori"][0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MiningMemoryModel(0, 10, 0.05)
+        with pytest.raises(ValueError):
+            MiningMemoryModel(10, 10, 0.0)
+
+
+class TestThroughput:
+    def test_paper_throughput_computation(self):
+        """Reproduce the arithmetic of Section IV's throughput paragraph."""
+        report = compute_throughput(n_sets=4000, avg_set_size=2500, seconds=10.87)
+        # paper: 4000^2 * 3 * 2^13 bytes = 393 GB, 36.2 GB/s
+        assert report.input_bytes == 4000 ** 2 * 3 * 2 ** 13
+        assert report.gbytes_per_second == pytest.approx(36.2, rel=0.01)
+        # paper: 40e9 elements, 3.68e9 elements per second
+        assert report.input_elements == 40 * 10 ** 9
+        assert report.elements_per_second == pytest.approx(3.68e9, rel=0.01)
+        assert report.fraction_of_peak(159.0) == pytest.approx(36.2 / 159.0, rel=0.01)
+
+    def test_speedup_over_merge_in_paper_range(self):
+        gpu = compute_throughput(4000, 2500, 10.87)
+        merge_single = compute_throughput(4000, 2500, 40e9 / 2.25e8)  # 2.25e8 elems/s
+        ratio = gpu.speedup_over(merge_single)
+        assert 13 <= ratio <= 26
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pairwise_input_bytes(0, 10)
+        with pytest.raises(ValueError):
+            pairwise_input_elements(10, 0)
+        with pytest.raises(ValueError):
+            compute_throughput(10, 10, 0)

@@ -1,0 +1,152 @@
+"""Tests for the intersection baselines: merge, galloping, hash table, bitmap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.bitmap import BitmapIndex, bitmap_intersection_size
+from repro.baselines.hash_intersect import HashSet, intersection_size_hash
+from repro.baselines.merge import (
+    intersect_sorted,
+    intersect_sorted_galloping,
+    intersection_size_numpy,
+    intersection_size_sorted,
+)
+from repro.core.intersection import exact_intersection_size
+
+
+class TestMerge:
+    def test_basic(self):
+        assert intersect_sorted([1, 3, 5], [3, 4, 5]).tolist() == [3, 5]
+
+    def test_disjoint(self):
+        assert intersect_sorted([1, 2], [3, 4]).size == 0
+
+    def test_empty_inputs(self):
+        assert intersect_sorted([], [1, 2]).size == 0
+        assert intersect_sorted([], []).size == 0
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            intersect_sorted([3, 1], [1, 2])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            intersect_sorted(np.zeros((2, 2)), [1])
+
+    def test_size_wrappers_agree(self):
+        a = np.arange(0, 100, 3)
+        b = np.arange(0, 100, 5)
+        expected = exact_intersection_size(a, b)
+        assert intersection_size_sorted(a, b) == expected
+        assert intersection_size_numpy(a, b) == expected
+
+    @given(st.lists(st.integers(0, 300), max_size=100), st.lists(st.integers(0, 300), max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_set_intersection(self, a, b):
+        sa = np.unique(np.array(a, dtype=np.int64))
+        sb = np.unique(np.array(b, dtype=np.int64))
+        expected = sorted(set(a) & set(b))
+        assert intersect_sorted(sa, sb).tolist() == expected
+        assert intersect_sorted_galloping(sa, sb).tolist() == expected
+
+
+class TestGalloping:
+    def test_skewed_sizes(self):
+        small = np.array([5, 500, 5000])
+        large = np.arange(10_000)
+        assert intersect_sorted_galloping(small, large).tolist() == [5, 500, 5000]
+
+    def test_order_of_arguments_irrelevant(self):
+        a = np.arange(0, 50, 2)
+        b = np.arange(0, 50, 7)
+        assert np.array_equal(intersect_sorted_galloping(a, b), intersect_sorted_galloping(b, a))
+
+
+class TestHashSet:
+    def test_membership(self):
+        hs = HashSet([1, 5, 9])
+        assert 5 in hs and 1 in hs and 9 in hs
+        assert 2 not in hs
+        assert len(hs) == 3
+
+    def test_duplicates_collapsed(self):
+        assert len(HashSet([7, 7, 7])) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            HashSet([-1, 2])
+
+    def test_load_factor_validated(self):
+        with pytest.raises(ValueError):
+            HashSet([1], load_factor=0.99)
+
+    def test_capacity_is_power_of_two_and_spacious(self):
+        hs = HashSet(range(100))
+        assert hs.capacity >= 200
+        assert hs.capacity & (hs.capacity - 1) == 0
+
+    def test_probe_counter_increases(self):
+        hs = HashSet(range(50))
+        before = hs.total_probes
+        _ = 10 in hs
+        assert hs.total_probes > before
+
+    def test_intersection_size(self):
+        assert intersection_size_hash(range(0, 60, 2), range(0, 60, 3)) == 10
+
+    @given(st.lists(st.integers(0, 500), max_size=80), st.lists(st.integers(0, 500), max_size=80))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_exact(self, a, b):
+        assert intersection_size_hash(a or [0], b or [1]) == exact_intersection_size(a or [0], b or [1])
+
+
+class TestBitmapIndex:
+    def test_round_trip_membership(self):
+        idx = BitmapIndex.from_sets([[1, 33, 64], [0, 2]], universe_size=100)
+        assert idx.contains(0, 33) and idx.contains(0, 64) and idx.contains(1, 0)
+        assert not idx.contains(0, 2)
+        assert not idx.contains(0, 1000)
+
+    def test_set_size_popcount(self):
+        idx = BitmapIndex.from_sets([range(0, 77)], universe_size=100)
+        assert idx.set_size(0) == 77
+
+    def test_intersection(self):
+        idx = BitmapIndex.from_sets([range(0, 64, 2), range(0, 64, 3)], universe_size=64)
+        assert idx.intersection_size(0, 1) == exact_intersection_size(range(0, 64, 2), range(0, 64, 3))
+
+    def test_memory_is_dense_in_universe(self):
+        # n * ceil(m/32) * 4 bytes regardless of how sparse the sets are
+        idx = BitmapIndex.from_sets([[1], [2]], universe_size=10_000)
+        assert idx.memory_bytes == 2 * ((10_000 + 31) // 32) * 4
+
+    def test_out_of_range_rejected(self):
+        idx = BitmapIndex(64, 1)
+        with pytest.raises(ValueError):
+            idx.set_elements(0, [64])
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            BitmapIndex(0, 3)
+        with pytest.raises(ValueError):
+            BitmapIndex(10, 0)
+
+    def test_pairwise_counts_symmetric(self):
+        rng = np.random.default_rng(0)
+        sets = [rng.choice(200, size=s, replace=False) for s in (10, 50, 100)]
+        idx = BitmapIndex.from_sets(sets, universe_size=200)
+        matrix = idx.pairwise_counts()
+        assert np.array_equal(matrix, matrix.T)
+        for i in range(3):
+            assert matrix[i, i] == len(sets[i])
+            for j in range(i + 1, 3):
+                assert matrix[i, j] == exact_intersection_size(sets[i], sets[j])
+
+    def test_one_off_helper(self):
+        assert bitmap_intersection_size([1, 2, 3], [2, 3, 4], 10) == 2
+
+    @given(st.lists(st.integers(0, 255), max_size=60), st.lists(st.integers(0, 255), max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_exact(self, a, b):
+        assert bitmap_intersection_size(a, b, 256) == exact_intersection_size(a, b)

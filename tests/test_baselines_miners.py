@@ -1,0 +1,210 @@
+"""Tests for the frequent itemset miners: Apriori, FP-growth, Eclat.
+
+All three must agree with a brute-force reference on small databases, for
+all itemset sizes, and their pair-mining fast paths must agree with each
+other (they feed the Figure 6/7 benchmark series).
+"""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.apriori import AprioriMiner
+from repro.baselines.counting import PairCounter, count_pairs_horizontal, triangle_index, triangle_size
+from repro.baselines.eclat import EclatMiner
+from repro.baselines.fpgrowth import FPGrowthMiner, FPTree
+from repro.datasets.synthetic import generate_fixed_transactions
+
+
+def brute_force_itemsets(transactions, min_support, max_size=None):
+    """Reference: enumerate every itemset occurring in the data and count it."""
+    counts: dict[tuple[int, ...], int] = {}
+    for t in transactions:
+        items = sorted(set(int(x) for x in t))
+        top = len(items) if max_size is None else min(len(items), max_size)
+        for k in range(1, top + 1):
+            for combo in combinations(items, k):
+                counts[combo] = counts.get(combo, 0) + 1
+    return {k: v for k, v in counts.items() if v >= min_support}
+
+
+SMALL_DB = [
+    [0, 1, 2],
+    [0, 1],
+    [0, 2, 3],
+    [1, 2],
+    [0, 1, 2, 3],
+    [3],
+]
+
+
+class TestTriangleCounting:
+    def test_triangle_size(self):
+        assert triangle_size(0) == 0
+        assert triangle_size(1) == 0
+        assert triangle_size(4) == 6
+
+    def test_triangle_index_enumerates_all_pairs(self):
+        n = 6
+        seen = {triangle_index(i, j, n) for i in range(n) for j in range(i + 1, n)}
+        assert seen == set(range(triangle_size(n)))
+
+    def test_triangle_index_validates(self):
+        with pytest.raises(ValueError):
+            triangle_index(2, 2, 5)
+        with pytest.raises(ValueError):
+            triangle_index(3, 1, 5)
+
+    def test_pair_counter_counts(self):
+        counter = PairCounter(4)
+        for t in SMALL_DB:
+            counter.add_transaction(t)
+        assert counter.get(0, 1) == 3
+        assert counter.get(1, 0) == 3  # symmetric access
+        assert counter.get(0, 3) == 2
+        assert counter.get(1, 3) == 1
+
+    def test_pair_counter_rejects_diagonal_and_bad_ids(self):
+        counter = PairCounter(4)
+        with pytest.raises(ValueError):
+            counter.get(1, 1)
+        with pytest.raises(ValueError):
+            counter.add_transaction([0, 4])
+
+    def test_frequent_pairs_threshold(self):
+        pairs = count_pairs_horizontal(SMALL_DB, 4, min_support=3)
+        assert (0, 1, 3) in pairs and (0, 2, 3) in pairs
+        assert all(s >= 3 for _, _, s in pairs)
+
+    def test_unflatten_roundtrip(self):
+        counter = PairCounter(9)
+        for i in range(9):
+            for j in range(i + 1, 9):
+                assert counter._unflatten(triangle_index(i, j, 9)) == (i, j)
+
+
+class TestAprioriSmall:
+    def test_matches_brute_force_all_sizes(self):
+        result = AprioriMiner().mine(SMALL_DB, 4, min_support=2)
+        assert result.itemsets == brute_force_itemsets(SMALL_DB, 2)
+
+    def test_max_size_two(self):
+        result = AprioriMiner(max_size=2).mine(SMALL_DB, 4, min_support=2)
+        expected = {k: v for k, v in brute_force_itemsets(SMALL_DB, 2, max_size=2).items()}
+        assert result.itemsets == expected
+
+    def test_pairs_helper(self):
+        pairs = AprioriMiner().mine_pairs(SMALL_DB, 4, min_support=2)
+        assert all(len(k) == 2 for k in pairs)
+        assert pairs[(0, 1)] == 3
+
+    def test_support_accessor(self):
+        result = AprioriMiner().mine(SMALL_DB, 4, min_support=2)
+        assert result.support([1, 0]) == 3
+        assert result.support([3, 1]) == 0  # infrequent
+
+    def test_peak_memory_counts_triangle(self):
+        result = AprioriMiner(max_size=2).mine(SMALL_DB, 4, min_support=1)
+        assert result.peak_memory_bytes >= 8 * triangle_size(4)
+
+    def test_memory_model_quadratic(self):
+        assert AprioriMiner.estimate_pair_memory_bytes(64_000) > 6 * 2**30  # > 6 GB, as in Fig. 5
+
+    def test_high_min_support_prunes_everything(self):
+        result = AprioriMiner().mine(SMALL_DB, 4, min_support=10)
+        assert result.itemsets == {}
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AprioriMiner().mine(SMALL_DB, 0, 1)
+        with pytest.raises(ValueError):
+            AprioriMiner().mine(SMALL_DB, 4, 0)
+        with pytest.raises(ValueError):
+            AprioriMiner(max_size=0)
+        with pytest.raises(ValueError):
+            AprioriMiner().mine([[9]], 4, 1)
+
+
+class TestFPGrowthSmall:
+    def test_matches_brute_force_all_sizes(self):
+        result = FPGrowthMiner().mine(SMALL_DB, 4, min_support=2)
+        assert result == brute_force_itemsets(SMALL_DB, 2)
+
+    def test_min_support_one(self):
+        result = FPGrowthMiner().mine(SMALL_DB, 4, min_support=1)
+        assert result == brute_force_itemsets(SMALL_DB, 1)
+
+    def test_pairs_only(self):
+        pairs = FPGrowthMiner().mine_pairs(SMALL_DB, 4, min_support=2)
+        expected = {k: v for k, v in brute_force_itemsets(SMALL_DB, 2, max_size=2).items()
+                    if len(k) == 2}
+        assert pairs == expected
+
+    def test_tree_structure(self):
+        tree, supports = FPTree.from_transactions(SMALL_DB, min_support=2)
+        assert supports == {0: 4, 1: 4, 2: 4, 3: 3}
+        assert tree.node_count > 0
+        assert not tree.is_empty()
+        assert tree.memory_bytes == 90 * tree.node_count
+
+    def test_single_path_detection(self):
+        tree, _ = FPTree.from_transactions([[0, 1, 2], [0, 1, 2], [0, 1]], min_support=1)
+        chain = tree.single_path()
+        assert chain is not None
+        assert [item for item, _ in chain] != []
+
+    def test_prefix_paths(self):
+        tree, _ = FPTree.from_transactions(SMALL_DB, min_support=1)
+        paths = tree.prefix_paths(3)
+        assert all(count >= 1 for _, count in paths)
+
+    def test_rejects_out_of_range_items(self):
+        with pytest.raises(ValueError):
+            FPGrowthMiner().mine([[10]], 4, 1)
+
+    def test_empty_database(self):
+        assert FPGrowthMiner().mine([], 4, 1) == {}
+
+
+class TestEclatSmall:
+    def test_matches_brute_force_all_sizes(self):
+        result = EclatMiner().mine(SMALL_DB, 4, min_support=2)
+        assert result == brute_force_itemsets(SMALL_DB, 2)
+
+    def test_pairs_only(self):
+        pairs = EclatMiner().mine_pairs(SMALL_DB, 4, min_support=2)
+        expected = {k: v for k, v in brute_force_itemsets(SMALL_DB, 2, max_size=2).items()
+                    if len(k) == 2}
+        assert pairs == expected
+
+    def test_intersections_counted(self):
+        miner = EclatMiner(max_size=2)
+        miner.mine(SMALL_DB, 4, min_support=1)
+        assert miner.intersections_performed > 0
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            EclatMiner().mine([[5]], 4, 1)
+        with pytest.raises(ValueError):
+            EclatMiner(max_size=0)
+
+
+class TestMinersAgree:
+    @pytest.mark.parametrize("min_support", [1, 2, 3, 5])
+    def test_on_random_database(self, min_support):
+        db = generate_fixed_transactions(12, 0.3, 40, rng=min_support)
+        expected = brute_force_itemsets(db.transactions, min_support)
+        assert AprioriMiner().mine(db.transactions, 12, min_support).itemsets == expected
+        assert FPGrowthMiner().mine(db.transactions, 12, min_support) == expected
+        assert EclatMiner().mine(db.transactions, 12, min_support) == expected
+
+    @given(st.integers(0, 2**31), st.integers(1, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_property_pair_mining_agreement(self, seed, min_support):
+        db = generate_fixed_transactions(10, 0.35, 30, rng=seed)
+        apriori = AprioriMiner().mine_pairs(db.transactions, 10, min_support)
+        fp = FPGrowthMiner().mine_pairs(db.transactions, 10, min_support)
+        eclat = EclatMiner().mine_pairs(db.transactions, 10, min_support)
+        assert apriori == fp == eclat

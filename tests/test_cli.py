@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.fimi_io import read_fimi
+
+
+@pytest.fixture
+def fimi_file(tmp_path):
+    path = tmp_path / "data.fimi"
+    path.write_text("0 1 2\n1 2\n0 2 3\n2 3\n0 1 2 3\n")
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_mine_defaults(self, fimi_file):
+        args = build_parser().parse_args(["mine", str(fimi_file)])
+        assert args.engine == "batmap"
+        assert args.min_support == 2
+
+    def test_rejects_unknown_engine(self, fimi_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mine", str(fimi_file), "--engine", "magic"])
+
+
+class TestMine:
+    @pytest.mark.parametrize("engine", ["batmap", "apriori", "fpgrowth", "eclat"])
+    def test_all_engines_run_and_agree(self, fimi_file, engine):
+        out = io.StringIO()
+        assert main(["mine", str(fimi_file), "--engine", engine, "--min-support", "2"],
+                    out=out) == 0
+        text = out.getvalue()
+        assert "frequent pairs" in text
+        # pairs (1,2) and (0,2) both have support 3 in the fixture
+        assert "(1, 2)  support=3" in text
+        assert "(0, 2)  support=3" in text
+
+    def test_top_limits_output(self, fimi_file):
+        out = io.StringIO()
+        main(["mine", str(fimi_file), "--min-support", "1", "--top", "2"], out=out)
+        pair_lines = [line for line in out.getvalue().splitlines() if "support=" in line]
+        assert len(pair_lines) == 2
+
+    def test_max_transactions(self, fimi_file):
+        out = io.StringIO()
+        main(["mine", str(fimi_file), "--max-transactions", "2", "--engine", "fpgrowth"],
+             out=out)
+        assert "loaded 2 transactions" in out.getvalue()
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("kind,extra", [
+        ("density", ["--items", "30", "--density", "0.1", "--total-items", "500"]),
+        ("quest", ["--items", "30", "--transactions", "40"]),
+        ("webdocs", ["--items", "200", "--transactions", "30"]),
+    ])
+    def test_generates_readable_fimi(self, tmp_path, kind, extra):
+        out_path = tmp_path / f"{kind}.fimi"
+        out = io.StringIO()
+        assert main(["generate", str(out_path), "--kind", kind, "--seed", "1", *extra],
+                    out=out) == 0
+        db = read_fimi(out_path)
+        assert db.n_transactions > 0
+        assert "wrote" in out.getvalue()
+
+    def test_roundtrip_minable(self, tmp_path):
+        out_path = tmp_path / "gen.fimi"
+        main(["generate", str(out_path), "--kind", "density",
+              "--items", "20", "--density", "0.2", "--total-items", "400"], out=io.StringIO())
+        out = io.StringIO()
+        assert main(["mine", str(out_path), "--engine", "fpgrowth"], out=out) == 0
+
+
+class TestIntersect:
+    def _write_sets(self, tmp_path, a, b):
+        pa = tmp_path / "a.txt"
+        pb = tmp_path / "b.txt"
+        pa.write_text(" ".join(str(x) for x in a))
+        pb.write_text("\n".join(str(x) for x in b))
+        return pa, pb
+
+    def test_intersection_counts_agree(self, tmp_path):
+        rng = np.random.default_rng(0)
+        a = rng.choice(2000, 300, replace=False)
+        b = rng.choice(2000, 500, replace=False)
+        pa, pb = self._write_sets(tmp_path, a, b)
+        out = io.StringIO()
+        assert main(["intersect", str(pa), str(pb)], out=out) == 0
+        text = out.getvalue()
+        exact = len(set(a.tolist()) & set(b.tolist()))
+        assert f"(merge) : {exact}" in text
+        assert f"(batmap): {exact}" in text
+
+    def test_empty_set(self, tmp_path):
+        pa, pb = self._write_sets(tmp_path, [], [1, 2, 3])
+        out = io.StringIO()
+        assert main(["intersect", str(pa), str(pb)], out=out) == 0
+        assert "intersection size: 0" in out.getvalue()
+
+    def test_explicit_universe(self, tmp_path):
+        pa, pb = self._write_sets(tmp_path, [1, 5, 9], [5, 9, 11])
+        out = io.StringIO()
+        main(["intersect", str(pa), str(pb), "--universe", "64"], out=out)
+        assert "universe = 64" in out.getvalue()

@@ -1,0 +1,174 @@
+"""Tests for the compressed Batmap representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.batmap import Batmap, build_batmap
+from repro.core.builder import place_set
+from repro.core.config import BatmapConfig
+from repro.core.errors import LayoutError
+from repro.core.hashing import HashFamily
+
+
+def make_family(m: int, seed: int = 0, cfg: BatmapConfig | None = None) -> HashFamily:
+    cfg = cfg or BatmapConfig()
+    return HashFamily.create(m, shift=cfg.shift_for_universe(m), rng=seed)
+
+
+class TestBuildBatmap:
+    def test_roundtrip_decode(self):
+        m = 1000
+        elements = np.array([3, 17, 512, 999, 42])
+        bm = build_batmap(elements, m, rng=0)
+        assert np.array_equal(bm.decode_elements(), np.sort(elements))
+
+    def test_contains(self):
+        m = 600
+        elements = np.array([1, 2, 3, 100, 300, 599])
+        bm = build_batmap(elements, m, rng=1)
+        assert all(bm.contains(int(x)) for x in elements)
+        assert not bm.contains(4)
+        assert not bm.contains(-1)
+        assert not bm.contains(600)
+
+    def test_accepts_python_iterables(self):
+        bm = build_batmap([5, 1, 5, 3], 64, rng=0)
+        assert bm.set_size == 3
+        assert np.array_equal(bm.decode_elements(), np.array([1, 3, 5]))
+
+    def test_empty_set(self):
+        bm = build_batmap([], 64, rng=0)
+        assert bm.set_size == 0
+        assert bm.decode_elements().size == 0
+        assert not bm.contains(3)
+
+    def test_family_mismatch_rejected(self):
+        family = make_family(32)
+        with pytest.raises(ValueError):
+            build_batmap([1, 2], 64, family=family)
+
+    def test_explicit_range_used(self):
+        bm = build_batmap([1, 2, 3], 64, r=32, rng=0)
+        assert bm.r == 32
+
+    def test_memory_is_three_r_bytes(self):
+        bm = build_batmap(np.arange(50), 1024, rng=0)
+        assert bm.memory_bytes == 3 * bm.r
+        assert bm.entries.nbytes == bm.memory_bytes
+
+    def test_density(self):
+        bm = build_batmap(np.arange(50), 1000, rng=0)
+        assert bm.density() == pytest.approx(0.05)
+
+    def test_len_counts_set_size(self):
+        bm = build_batmap(np.arange(7), 64, rng=0)
+        assert len(bm) == 7
+
+
+class TestEncoding:
+    def test_entries_are_uint8_with_null_zero(self):
+        bm = build_batmap(np.arange(20), 256, rng=0)
+        assert bm.entries.dtype == np.uint8
+        occupied = int((bm.entries != 0).sum())
+        assert occupied == 2 * 20  # each element stored twice, NULL elsewhere
+
+    def test_indicator_bits_exactly_one_per_element(self):
+        """Per element, exactly one of its two copies carries indicator bit 1."""
+        m = 512
+        cfg = BatmapConfig()
+        family = make_family(m, seed=2, cfg=cfg)
+        elements = np.arange(0, 512, 7)
+        r = cfg.range_for_size(elements.size, m)
+        placement = place_set(elements, family, r, cfg)
+        bm = Batmap.from_placement(placement, family, cfg)
+        for x in elements.tolist():
+            bits = []
+            for t, p in placement.occurrences(x):
+                bits.append(int(bm.entries[t, p]) >> 7)
+            assert sorted(bits) == [0, 1]
+
+    def test_payload_overflow_detected(self):
+        """A family with an insufficient shift must be rejected at encode time."""
+        m = 4096
+        family = HashFamily.create(m, shift=0, rng=0)  # payloads up to 4096 >> 7 bits
+        placement = place_set(np.array([1, 2000, 4000]), family, 64)
+        with pytest.raises(LayoutError):
+            Batmap.from_placement(placement, family, BatmapConfig())
+
+    def test_constructor_validates_shape(self):
+        family = make_family(64)
+        with pytest.raises(ValueError):
+            Batmap(family=family, config=BatmapConfig(), r=8,
+                   entries=np.zeros((3, 4), dtype=np.uint8), set_size=0)
+
+    def test_constructor_validates_dtype(self):
+        family = make_family(64)
+        with pytest.raises(ValueError):
+            Batmap(family=family, config=BatmapConfig(), r=4,
+                   entries=np.zeros((3, 4), dtype=np.int32), set_size=0)
+
+
+class TestPackingAndLayout:
+    def test_packed_rows_shape(self):
+        bm = build_batmap(np.arange(30), 256, rng=0)
+        assert bm.packed_rows.shape == (3, bm.r // 4)
+        assert bm.packed_rows.dtype == np.uint32
+
+    def test_packed_rows_padding_for_tiny_ranges(self):
+        bm = build_batmap([1], 64, r=2, rng=0)
+        assert bm.packed_rows.shape[1] == 1  # padded to one word
+
+    def test_device_array_contains_all_entries(self):
+        bm = build_batmap(np.arange(40), 512, rng=0)
+        dev = bm.device_array(r0=4)
+        assert dev.size == 3 * bm.r
+        assert np.array_equal(np.sort(dev[dev != 0]), np.sort(bm.entries[bm.entries != 0].ravel()))
+
+    def test_device_array_blocked_layout(self):
+        """Block q of the device array is [row0 slice q | row1 slice q | row2 slice q]."""
+        bm = build_batmap(np.arange(40), 512, rng=0)
+        r0 = 8
+        dev = bm.device_array(r0=r0)
+        blocks = bm.r // r0
+        view = dev.reshape(blocks, 3 * r0)
+        for q in range(blocks):
+            for t in range(3):
+                assert np.array_equal(view[q, t * r0:(t + 1) * r0],
+                                      bm.entries[t, q * r0:(q + 1) * r0])
+
+    def test_device_array_rejects_r0_above_r(self):
+        bm = build_batmap(np.arange(10), 64, rng=0)
+        with pytest.raises(ValueError):
+            bm.device_array(r0=2 * bm.r)
+
+    def test_width_words(self):
+        bm = build_batmap(np.arange(10), 64, rng=0)
+        assert bm.width_words == bm.packed_rows.shape[1]
+
+
+class TestFailureHandling:
+    def test_failed_elements_not_decoded(self):
+        m = 2048
+        cfg = BatmapConfig(max_loop=8)
+        family = make_family(m, seed=3, cfg=cfg)
+        elements = np.arange(300)
+        placement = place_set(elements, family, 128, cfg)
+        assert placement.failed
+        bm = Batmap.from_placement(placement, family, cfg, set_size=elements.size)
+        decoded = set(bm.decode_elements().tolist())
+        assert decoded.isdisjoint(set(bm.failed))
+        assert bm.stored_count == bm.set_size - len(bm.failed)
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_property_decode_matches_input_minus_failed(self, seed):
+        rng = np.random.default_rng(seed)
+        m = 1024
+        cfg = BatmapConfig()
+        family = make_family(m, seed=seed % 13, cfg=cfg)
+        size = int(rng.integers(0, 200))
+        elements = np.sort(rng.choice(m, size=size, replace=False))
+        bm = build_batmap(elements, m, family=family, rng=seed)
+        expected = np.setdiff1d(elements, np.array(bm.failed, dtype=np.int64))
+        assert np.array_equal(bm.decode_elements(), expected)

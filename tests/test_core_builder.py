@@ -1,0 +1,132 @@
+"""Tests for the generalised cuckoo placement (2-of-3 insertion)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.builder import EMPTY, place_set
+from repro.core.config import BatmapConfig
+from repro.core.errors import InsertionFailure
+from repro.core.hashing import HashFamily
+from repro.utils.bits import next_power_of_two
+
+
+def make_family(m: int, seed: int = 0) -> HashFamily:
+    cfg = BatmapConfig()
+    return HashFamily.create(m, shift=cfg.shift_for_universe(m), rng=seed)
+
+
+class TestPlaceSet:
+    def test_every_element_stored_twice(self):
+        family = make_family(256)
+        elements = np.arange(0, 256, 3)
+        r = next_power_of_two(2 * elements.size)
+        placement = place_set(elements, family, r)
+        assert not placement.failed
+        placement.validate(family)
+        assert np.array_equal(placement.stored_elements, elements)
+        # exactly 2 * |S| occupied slots
+        assert int((placement.rows != EMPTY).sum()) == 2 * elements.size
+
+    def test_copies_in_distinct_tables(self):
+        family = make_family(128)
+        elements = np.arange(40)
+        placement = place_set(elements, family, 128)
+        for x in elements.tolist():
+            tables = {t for t, _ in placement.occurrences(x)}
+            assert len(tables) == 2
+
+    def test_empty_set(self):
+        family = make_family(64)
+        placement = place_set(np.array([], dtype=np.int64), family, 4)
+        assert placement.stored_elements.size == 0
+        assert not placement.failed
+
+    def test_duplicates_ignored(self):
+        family = make_family(64)
+        placement = place_set(np.array([5, 5, 5, 9]), family, 8)
+        assert np.array_equal(placement.stored_elements, np.array([5, 9]))
+
+    def test_rejects_non_power_of_two_range(self):
+        family = make_family(64)
+        with pytest.raises(ValueError):
+            place_set(np.array([1, 2]), family, 6)
+
+    def test_rejects_out_of_universe_elements(self):
+        family = make_family(64)
+        with pytest.raises(ValueError):
+            place_set(np.array([64]), family, 8)
+
+    def test_rejects_bad_on_failure(self):
+        family = make_family(64)
+        with pytest.raises(ValueError):
+            place_set(np.array([1]), family, 8, on_failure="explode")
+
+    def test_stats_populated(self):
+        family = make_family(512)
+        elements = np.arange(100)
+        placement = place_set(elements, family, 256)
+        assert placement.stats.inserted == 100
+        assert placement.stats.total_moves >= 200  # at least two moves per element
+        assert placement.stats.moves_per_insert >= 2.0
+
+    def test_overfull_table_fails_or_records(self):
+        """Placing more than 1.5*r elements cannot succeed (only 3r slots, 2 per element)."""
+        family = make_family(512)
+        elements = np.arange(100)
+        cfg = BatmapConfig(max_loop=20)
+        placement = place_set(elements, family, 16, cfg)
+        assert placement.failed  # definitely cannot place 100 elements in 48 slots
+        placement.validate(family)
+
+    def test_on_failure_raise(self):
+        family = make_family(512)
+        elements = np.arange(100)
+        cfg = BatmapConfig(max_loop=20)
+        with pytest.raises(InsertionFailure):
+            place_set(elements, family, 16, cfg, on_failure="raise")
+
+    def test_failed_elements_have_no_copies(self):
+        family = make_family(1024)
+        elements = np.arange(200)
+        cfg = BatmapConfig(max_loop=10)
+        placement = place_set(elements, family, 64, cfg)
+        placement.validate(family)
+        for x in placement.failed:
+            assert placement.occurrences(x) == []
+
+    def test_stored_plus_failed_covers_input(self):
+        family = make_family(1024)
+        elements = np.arange(0, 900, 2)
+        cfg = BatmapConfig(max_loop=15)
+        placement = place_set(elements, family, 512, cfg)
+        recovered = set(placement.stored_elements.tolist()) | set(placement.failed)
+        assert recovered == set(elements.tolist())
+
+    @given(st.integers(0, 2**31), st.integers(1, 120))
+    @settings(max_examples=30, deadline=None)
+    def test_property_invariants_hold(self, seed, size):
+        rng = np.random.default_rng(seed)
+        m = 2048
+        family = make_family(m, seed=seed % 17)
+        elements = np.sort(rng.choice(m, size=size, replace=False))
+        cfg = BatmapConfig()
+        r = cfg.range_for_size(size, m)
+        placement = place_set(elements, family, r, cfg)
+        placement.validate(family)
+        stored_and_failed = set(placement.stored_elements.tolist()) | set(placement.failed)
+        assert stored_and_failed == set(elements.tolist())
+
+    def test_low_failure_rate_at_standard_range(self):
+        """With r >= 2|S| failures should be rare (paper's analysis, Section II-B)."""
+        m = 4096
+        failures = 0
+        total = 0
+        for seed in range(10):
+            family = make_family(m, seed=seed)
+            rng = np.random.default_rng(seed)
+            elements = np.sort(rng.choice(m, size=500, replace=False))
+            placement = place_set(elements, family, 1024)
+            failures += len(placement.failed)
+            total += elements.size
+        assert failures / total < 0.01

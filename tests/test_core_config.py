@@ -1,0 +1,107 @@
+"""Unit tests for BatmapConfig."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.config import DEFAULT_CONFIG, BatmapConfig
+from repro.utils.bits import is_power_of_two
+
+
+class TestConstruction:
+    def test_defaults(self):
+        cfg = BatmapConfig()
+        assert cfg.num_tables == 3
+        assert cfg.copies == 2
+        assert cfg.entry_bits == 8
+        assert cfg.is_byte_packed
+
+    def test_rejects_multiplier_below_one(self):
+        with pytest.raises(ValueError):
+            BatmapConfig(range_multiplier=0.5)
+
+    def test_under_provisioned_multiplier_allowed(self):
+        # < 2 voids the failure-probability analysis but is legal (the mining
+        # pipeline repairs failed insertions exactly).
+        assert BatmapConfig(range_multiplier=1.0).range_multiplier == 1.0
+
+    def test_rejects_bad_payload_bits(self):
+        with pytest.raises(ValueError):
+            BatmapConfig(payload_bits=0)
+        with pytest.raises(ValueError):
+            BatmapConfig(payload_bits=32)
+
+    def test_rejects_non_positive_max_loop(self):
+        with pytest.raises(ValueError):
+            BatmapConfig(max_loop=0)
+
+    def test_with_returns_modified_copy(self):
+        cfg = BatmapConfig()
+        other = cfg.with_(range_multiplier=4.0)
+        assert other.range_multiplier == 4.0
+        assert cfg.range_multiplier == 2.0
+
+
+class TestShift:
+    def test_small_universe_needs_no_shift(self):
+        # universe of 127 values: ids 0..126 fit in 7 bits with NULL reserved
+        assert BatmapConfig().shift_for_universe(127) == 0
+
+    def test_larger_universe_shifts(self):
+        cfg = BatmapConfig()
+        assert cfg.shift_for_universe(128) == 1
+        assert cfg.shift_for_universe(10_000_000) > 0
+
+    def test_shift_makes_payload_fit(self):
+        cfg = BatmapConfig()
+        for m in (1, 100, 127, 128, 255, 1000, 10**6, 10**7):
+            s = cfg.shift_for_universe(m)
+            assert ((m - 1) >> s) <= (1 << cfg.payload_bits) - 2
+
+    def test_rejects_non_positive_universe(self):
+        with pytest.raises(ValueError):
+            BatmapConfig().shift_for_universe(0)
+
+
+class TestRangeForSize:
+    def test_power_of_two(self):
+        cfg = BatmapConfig()
+        for size in (0, 1, 3, 100, 1000):
+            assert is_power_of_two(cfg.range_for_size(size, 10_000))
+
+    def test_at_least_multiplier_times_size(self):
+        cfg = BatmapConfig()
+        for size in (1, 5, 17, 100):
+            assert cfg.range_for_size(size, 100_000) >= 2 * size
+
+    def test_respects_compression_floor(self):
+        cfg = BatmapConfig()
+        m = 10_000_000
+        floor = cfg.min_range(m)
+        assert cfg.range_for_size(1, m) >= floor
+        assert floor == 1 << cfg.shift_for_universe(m)
+
+    def test_empty_set_gets_floor(self):
+        cfg = BatmapConfig()
+        assert cfg.range_for_size(0, 100) == cfg.min_range(100)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            BatmapConfig().range_for_size(-1, 100)
+
+    @given(st.integers(1, 10**5), st.integers(1, 10**7))
+    def test_property_range_validity(self, size, m):
+        cfg = DEFAULT_CONFIG
+        r = cfg.range_for_size(size, m)
+        assert is_power_of_two(r)
+        assert r >= cfg.min_range(m)
+        assert r >= cfg.range_multiplier * size or r == cfg.min_range(m) or r >= 2 * size
+
+
+class TestMaxLoop:
+    def test_explicit_value_used(self):
+        assert BatmapConfig(max_loop=77).effective_max_loop(1 << 20) == 77
+
+    def test_adaptive_grows_with_range(self):
+        cfg = BatmapConfig()
+        assert cfg.effective_max_loop(1 << 20) >= cfg.effective_max_loop(16)
+        assert cfg.effective_max_loop(4) >= 32

@@ -1,0 +1,158 @@
+"""Unit and property tests for the hash family and permutations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import BatmapConfig
+from repro.core.hashing import (
+    ArrayPermutation,
+    FeistelPermutation,
+    HashFamily,
+    make_permutations,
+)
+
+
+class TestArrayPermutation:
+    def test_is_bijection(self):
+        perm = ArrayPermutation.random(100, rng=0)
+        out = perm.apply(np.arange(100))
+        assert np.array_equal(np.sort(out), np.arange(100))
+
+    def test_invert_roundtrip(self):
+        perm = ArrayPermutation.random(64, rng=1)
+        x = np.arange(64)
+        assert np.array_equal(perm.invert(perm.apply(x)), x)
+
+    def test_out_of_range_rejected(self):
+        perm = ArrayPermutation.random(10, rng=0)
+        with pytest.raises(ValueError):
+            perm.apply(np.array([10]))
+        with pytest.raises(ValueError):
+            perm.invert(np.array([-1]))
+
+    def test_deterministic_given_seed(self):
+        a = ArrayPermutation.random(50, rng=42).apply(np.arange(50))
+        b = ArrayPermutation.random(50, rng=42).apply(np.arange(50))
+        assert np.array_equal(a, b)
+
+
+class TestFeistelPermutation:
+    @pytest.mark.parametrize("m", [1, 2, 7, 100, 1023, 5000])
+    def test_is_bijection(self, m):
+        perm = FeistelPermutation.random(m, rng=0)
+        out = perm.apply(np.arange(m))
+        assert np.array_equal(np.sort(out), np.arange(m))
+
+    def test_invert_roundtrip(self):
+        perm = FeistelPermutation.random(3001, rng=5)
+        x = np.arange(3001)
+        assert np.array_equal(perm.invert(perm.apply(x)), x)
+
+    def test_empty_input(self):
+        perm = FeistelPermutation.random(10, rng=0)
+        assert perm.apply(np.array([], dtype=np.int64)).size == 0
+
+    def test_out_of_range_rejected(self):
+        perm = FeistelPermutation.random(10, rng=0)
+        with pytest.raises(ValueError):
+            perm.apply(np.array([11]))
+
+    @given(st.integers(min_value=1, max_value=2000), st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_property_bijection(self, m, seed):
+        perm = FeistelPermutation.random(m, rng=seed)
+        out = perm.apply(np.arange(m))
+        assert np.array_equal(np.sort(out), np.arange(m))
+
+
+class TestMakePermutations:
+    def test_count_and_independence(self):
+        perms = make_permutations(200, 3, rng=0)
+        assert len(perms) == 3
+        images = [tuple(p.apply(np.arange(200)).tolist()) for p in perms]
+        assert len(set(images)) == 3  # overwhelmingly likely to differ
+
+    def test_force_feistel(self):
+        perms = make_permutations(100, 2, rng=0, force="feistel")
+        assert all(isinstance(p, FeistelPermutation) for p in perms)
+
+    def test_force_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_permutations(100, 1, rng=0, force="banana")
+
+
+class TestHashFamily:
+    def test_positions_within_range(self, family):
+        x = np.arange(family.universe_size)
+        for t in range(3):
+            pos = family.positions(t, x, 64)
+            assert pos.min() >= 0 and pos.max() < 64
+
+    def test_range_nesting_property(self, family):
+        """h mod r_small == (h mod r_large) mod r_small for nested powers of two."""
+        x = np.arange(family.universe_size)
+        for t in range(3):
+            small = family.positions(t, x, 32)
+            large = family.positions(t, x, 256)
+            assert np.array_equal(small, large % 32)
+
+    def test_rejects_non_power_of_two_range(self, family):
+        with pytest.raises(ValueError):
+            family.positions(0, np.array([1]), 48)
+
+    def test_rejects_bad_table(self, family):
+        with pytest.raises(ValueError):
+            family.positions(3, np.array([1]), 64)
+
+    def test_payload_reserves_null(self, family):
+        payloads = family.payloads(0, np.arange(family.universe_size))
+        assert payloads.min() >= 1
+
+    def test_decode_inverts_encode(self, small_universe, config):
+        shift = config.shift_for_universe(small_universe)
+        family = HashFamily.create(small_universe, shift=shift, rng=0)
+        x = np.arange(small_universe)
+        r = 1 << max(3, shift)
+        for t in range(3):
+            payload = family.payloads(t, x)
+            pos = family.positions(t, x, r)
+            decoded = family.decode(t, payload, pos, r)
+            assert np.array_equal(decoded, x)
+
+    def test_decode_requires_floor(self, small_universe):
+        cfg = BatmapConfig()
+        shift = max(2, cfg.shift_for_universe(4 * small_universe))
+        family = HashFamily.create(4 * small_universe, shift=shift, rng=0)
+        with pytest.raises(ValueError):
+            family.decode(0, np.array([1]), np.array([0]), 1 << (shift - 1))
+
+    def test_device_positions_formula(self):
+        # r = 16, r0 = 4: position p of table t maps to 12*(p//4) + p%4 + 4*t
+        pos = np.array([0, 3, 4, 7, 15])
+        got = HashFamily.device_positions(pos, table=1, r=16, r0=4)
+        expected = 12 * (pos // 4) + (pos % 4) + 4
+        assert np.array_equal(got, expected)
+
+    def test_device_positions_fold_property(self):
+        """Device offsets of a large batmap fold onto a small one via mod 3*r_small."""
+        r_large, r_small, r0 = 64, 16, 8
+        pos_large = np.arange(r_large)
+        for t in range(3):
+            dev_large = HashFamily.device_positions(pos_large, t, r_large, r0)
+            dev_small = HashFamily.device_positions(pos_large % r_small, t, r_small, r0)
+            assert np.array_equal(dev_large % (3 * r_small), dev_small)
+
+    def test_device_positions_requires_r0_le_r(self):
+        with pytest.raises(ValueError):
+            HashFamily.device_positions(np.array([0]), 0, r=8, r0=16)
+
+    def test_requires_three_permutations(self, small_universe):
+        perms = make_permutations(small_universe, 2, rng=0)
+        with pytest.raises(ValueError):
+            HashFamily(universe_size=small_universe, permutations=perms, shift=0)
+
+    def test_wrong_domain_rejected(self, small_universe):
+        perms = make_permutations(small_universe // 2, 3, rng=0)
+        with pytest.raises(ValueError):
+            HashFamily(universe_size=small_universe, permutations=perms, shift=0)

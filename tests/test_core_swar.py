@@ -1,0 +1,127 @@
+"""Tests of the SWAR word-comparison primitives against a scalar reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.swar import (
+    count_matches,
+    count_matches_folded,
+    count_matches_per_word,
+    match_bits,
+)
+
+
+def scalar_reference_count(x_bytes: np.ndarray, y_bytes: np.ndarray) -> int:
+    """Straightforward per-byte implementation of the paper's counting rule."""
+    count = 0
+    for a, b in zip(x_bytes.tolist(), y_bytes.tolist()):
+        payload_equal = (a & 0x7F) == (b & 0x7F)
+        indicator_or = ((a | b) & 0x80) != 0
+        if payload_equal and indicator_or:
+            count += 1
+    return count
+
+
+def bytes_to_words(b: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(b, dtype=np.uint8).view("<u4")
+
+
+class TestMatchBits:
+    def test_equal_payload_one_indicator(self):
+        x = bytes_to_words(np.array([0x85, 0x01, 0x00, 0x7F], dtype=np.uint8))
+        y = bytes_to_words(np.array([0x05, 0x81, 0x00, 0x7F], dtype=np.uint8))
+        bits = match_bits(x, y)
+        # bytes 0 and 1 match (payload equal, one indicator set); byte 2 is
+        # NULL vs NULL (no indicator); byte 3 has equal payloads but neither
+        # indicator set.
+        assert int(bits[0]) == 0x00008080
+
+    def test_no_match_when_payload_differs(self):
+        x = bytes_to_words(np.array([0x81, 0x82, 0x83, 0x84], dtype=np.uint8))
+        y = bytes_to_words(np.array([0x01 ^ 0x7F, 0x02 ^ 0x7F, 0x03 ^ 0x7F, 0x04 ^ 0x7F],
+                                    dtype=np.uint8))
+        assert int(match_bits(x, y)[0]) == 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            match_bits(np.zeros(2, dtype=np.uint32), np.zeros(3, dtype=np.uint32))
+
+    def test_null_never_matches_valid_entries(self):
+        # NULL (0x00) against every *valid* entry byte must never count.
+        # Valid entries have payload >= 1 (0 is reserved for NULL by the
+        # encoder), so the SWAR rule can only fire against other NULLs —
+        # which carry indicator bit 0 and are therefore not counted either.
+        valid = np.array([p | (b << 7) for p in range(1, 128) for b in (0, 1)] + [0x00],
+                         dtype=np.uint8)
+        pad = (-valid.size) % 4
+        valid = np.concatenate([valid, np.zeros(pad, dtype=np.uint8)])
+        nulls = np.zeros_like(valid)
+        assert count_matches(bytes_to_words(nulls), bytes_to_words(valid)) == 0
+
+
+class TestCountMatches:
+    @given(st.lists(st.integers(0, 255), min_size=4, max_size=256).filter(lambda v: len(v) % 4 == 0),
+           st.integers(0, 2**31))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_scalar_reference(self, xs, seed):
+        rng = np.random.default_rng(seed)
+        x = np.array(xs, dtype=np.uint8)
+        y = rng.integers(0, 256, size=len(xs), dtype=np.uint8)
+        expected = scalar_reference_count(x, y)
+        assert count_matches(bytes_to_words(x), bytes_to_words(y)) == expected
+
+    def test_per_word_counts_sum_to_total(self):
+        rng = np.random.default_rng(3)
+        x = rng.integers(0, 256, size=400, dtype=np.uint8)
+        y = rng.integers(0, 256, size=400, dtype=np.uint8)
+        xw, yw = bytes_to_words(x), bytes_to_words(y)
+        assert int(count_matches_per_word(xw, yw).sum()) == count_matches(xw, yw)
+
+    def test_per_word_counts_bounded_by_four(self):
+        x = np.full(40, 0x85, dtype=np.uint8)
+        y = np.full(40, 0x85, dtype=np.uint8)
+        counts = count_matches_per_word(bytes_to_words(x), bytes_to_words(y))
+        assert counts.max() == 4
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(9)
+        x = rng.integers(0, 2**32, size=64, dtype=np.uint32)
+        y = rng.integers(0, 2**32, size=64, dtype=np.uint32)
+        assert count_matches(x, y) == count_matches(y, x)
+
+    def test_identical_all_indicator(self):
+        x = np.full(16, 0xFFFFFFFF, dtype=np.uint32)
+        assert count_matches(x, x) == 64
+
+
+class TestFolded:
+    def test_equal_size_same_as_direct(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 2**32, size=32, dtype=np.uint32)
+        y = rng.integers(0, 2**32, size=32, dtype=np.uint32)
+        assert count_matches_folded(x, y) == count_matches(x, y)
+
+    def test_folding_tiles_small_operand(self):
+        rng = np.random.default_rng(1)
+        small = rng.integers(0, 2**32, size=8, dtype=np.uint32)
+        large = np.tile(small, 4)
+        # Large is small repeated, so every word matches its counterpart.
+        assert count_matches_folded(large, small) == count_matches(large, np.tile(small, 4))
+
+    def test_rejects_non_multiple(self):
+        with pytest.raises(ValueError):
+            count_matches_folded(np.zeros(10, dtype=np.uint32), np.zeros(4, dtype=np.uint32))
+
+    def test_rejects_empty_small(self):
+        with pytest.raises(ValueError):
+            count_matches_folded(np.zeros(4, dtype=np.uint32), np.zeros(0, dtype=np.uint32))
+
+    @given(st.integers(1, 8), st.integers(1, 4), st.integers(0, 2**31))
+    @settings(max_examples=50, deadline=None)
+    def test_property_fold_equals_explicit_tile(self, small_words, reps, seed):
+        rng = np.random.default_rng(seed)
+        small = rng.integers(0, 2**32, size=small_words, dtype=np.uint32)
+        large = rng.integers(0, 2**32, size=small_words * reps, dtype=np.uint32)
+        expected = count_matches(large, np.tile(small, reps))
+        assert count_matches_folded(large, small) == expected

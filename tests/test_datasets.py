@@ -1,0 +1,205 @@
+"""Tests for the dataset containers, generators and FIMI I/O."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import DataFormatError
+from repro.datasets.fimi_io import parse_fimi_lines, read_fimi, write_fimi
+from repro.datasets.ibm_quest import QuestParameters, generate_quest_dataset, generate_t40i10
+from repro.datasets.synthetic import generate_density_instance, generate_fixed_transactions
+from repro.datasets.transactions import TransactionDatabase
+from repro.datasets.webdocs import generate_webdocs_like, vocabulary_growth
+
+
+class TestTransactionDatabase:
+    def test_basic_statistics(self):
+        db = TransactionDatabase([[0, 1], [1, 2, 3], [2]], n_items=4)
+        assert db.n_transactions == 3
+        assert db.total_items == 6
+        assert db.density == pytest.approx(6 / 12)
+        assert db.average_transaction_length == pytest.approx(2.0)
+        assert db.distinct_items_used() == 4
+        assert len(db) == 3
+
+    def test_item_supports(self):
+        db = TransactionDatabase([[0, 1], [1, 2], [1]], n_items=3)
+        assert db.item_supports().tolist() == [1, 3, 1]
+
+    def test_duplicates_and_sorting_normalised(self):
+        db = TransactionDatabase([[3, 1, 3, 1]], n_items=4)
+        assert db.transactions[0].tolist() == [1, 3]
+
+    def test_invalid_items_rejected(self):
+        with pytest.raises(DataFormatError):
+            TransactionDatabase([[5]], n_items=4)
+        with pytest.raises(DataFormatError):
+            TransactionDatabase([[-1]], n_items=4)
+        with pytest.raises(DataFormatError):
+            TransactionDatabase([], n_items=0)
+
+    def test_tidlists_roundtrip(self):
+        db = TransactionDatabase([[0, 1], [1, 2], [0, 2]], n_items=3)
+        tidlists = db.tidlists()
+        assert tidlists[0].tolist() == [0, 2]
+        assert tidlists[1].tolist() == [0, 1]
+        assert tidlists[2].tolist() == [1, 2]
+        assert db.tidlists() is tidlists  # cached
+
+    def test_prefix(self):
+        db = TransactionDatabase([[0], [1], [2]], n_items=3)
+        pre = db.prefix(2)
+        assert pre.n_transactions == 2
+        assert pre.n_items == 3
+        assert db.prefix(100).n_transactions == 3
+
+    def test_filter_by_support_relabels_densely(self):
+        db = TransactionDatabase([[0, 5], [5, 9], [5]], n_items=10)
+        filtered, kept = db.filter_by_support(2)
+        assert kept.tolist() == [5]
+        assert filtered.n_items == 1
+        assert [t.tolist() for t in filtered.transactions] == [[0], [0], [0]]
+
+    def test_filter_keeps_nothing(self):
+        db = TransactionDatabase([[0], [1]], n_items=2)
+        filtered, kept = db.filter_by_support(5)
+        assert kept.size == 0
+        assert filtered.total_items == 0
+
+    def test_split_parts(self):
+        db = TransactionDatabase([[0]] * 10, n_items=1)
+        parts = db.split(4)
+        assert len(parts) == 4
+        assert sum(p.n_transactions for p in parts) == 10
+        with pytest.raises(ValueError):
+            db.split(0)
+
+
+class TestSyntheticGenerator:
+    def test_reaches_target_size(self):
+        db = generate_density_instance(50, 0.1, 2000, rng=0)
+        assert db.total_items >= 2000
+        assert db.n_items == 50
+
+    def test_density_close_to_requested(self):
+        db = generate_density_instance(200, 0.05, 20_000, rng=1)
+        assert db.density == pytest.approx(0.05, rel=0.15)
+
+    def test_deterministic_given_seed(self):
+        a = generate_density_instance(30, 0.2, 500, rng=7)
+        b = generate_density_instance(30, 0.2, 500, rng=7)
+        assert a.n_transactions == b.n_transactions
+        assert all(np.array_equal(x, y) for x, y in zip(a.transactions, b.transactions))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            generate_density_instance(0, 0.1, 100)
+        with pytest.raises(ValueError):
+            generate_density_instance(10, 0.0, 100)
+        with pytest.raises(ValueError):
+            generate_density_instance(10, 1.5, 100)
+        with pytest.raises(ValueError):
+            generate_density_instance(10, 0.1, 0)
+
+    def test_fixed_transactions(self):
+        db = generate_fixed_transactions(40, 0.25, 100, rng=3)
+        assert db.n_transactions == 100
+        assert 0 < db.density < 1
+
+    @given(st.integers(1, 60), st.floats(0.02, 0.5), st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_property_items_in_range(self, n_items, density, seed):
+        db = generate_fixed_transactions(n_items, density, 20, rng=seed)
+        for t in db.transactions:
+            assert t.size == 0 or (t.min() >= 0 and t.max() < n_items)
+
+
+class TestQuestGenerator:
+    def test_shape_and_ranges(self):
+        db = generate_quest_dataset(QuestParameters(n_items=100, n_transactions=50), rng=0)
+        assert db.n_transactions == 50
+        assert db.n_items == 100
+        assert all(t.size >= 1 for t in db.transactions)
+
+    def test_average_length_roughly_matches(self):
+        params = QuestParameters(n_items=500, n_transactions=300, avg_transaction_length=12.0)
+        db = generate_quest_dataset(params, rng=1)
+        assert 6.0 <= db.average_transaction_length <= 20.0
+
+    def test_t40_surrogate_is_denser(self):
+        db = generate_t40i10(n_transactions=100, n_items=500, rng=2)
+        assert db.average_transaction_length > 15
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            QuestParameters(n_items=0)
+        with pytest.raises(ValueError):
+            QuestParameters(avg_transaction_length=-1)
+
+    def test_correlation_creates_cooccurrence(self):
+        """Quest data must have more structure than independent Bernoulli data."""
+        db = generate_quest_dataset(QuestParameters(n_items=300, n_transactions=200), rng=3)
+        supports = db.item_supports()
+        # popular items should be far more frequent than the median item
+        assert supports.max() >= 4 * max(1, int(np.median(supports[supports > 0])))
+
+
+class TestWebdocsSurrogate:
+    def test_vocabulary_grows_with_prefix(self):
+        db = generate_webdocs_like(400, vocabulary_size=20_000, rng=0)
+        growth = vocabulary_growth(db, [50, 100, 200, 400])
+        sizes = [g[1] for g in growth]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0] * 1.5  # still discovering new words at 8x the prefix
+
+    def test_documents_nonempty_and_in_range(self):
+        db = generate_webdocs_like(50, vocabulary_size=5000, rng=1)
+        assert db.n_transactions == 50
+        for t in db.transactions:
+            assert t.size >= 1
+            assert t.max() < 5000
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            generate_webdocs_like(0)
+        with pytest.raises(ValueError):
+            generate_webdocs_like(10, vocabulary_size=0)
+
+
+class TestFimiIO:
+    def test_parse_basic(self):
+        db = parse_fimi_lines(["1 2 3", "2 4", "", "# comment", "0"])
+        assert db.n_transactions == 3
+        assert db.n_items == 5
+        assert db.transactions[0].tolist() == [1, 2, 3]
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(DataFormatError):
+            parse_fimi_lines(["1 banana 3"])
+        with pytest.raises(DataFormatError):
+            parse_fimi_lines(["-1 2"])
+        with pytest.raises(DataFormatError):
+            parse_fimi_lines([])
+        with pytest.raises(DataFormatError):
+            parse_fimi_lines(["5"], n_items=3)
+
+    def test_max_transactions(self):
+        db = parse_fimi_lines(["0", "1", "2"], max_transactions=2)
+        assert db.n_transactions == 2
+
+    def test_roundtrip_through_file(self, tmp_path):
+        original = TransactionDatabase([[0, 3], [1], [2, 3, 4]], n_items=5)
+        path = tmp_path / "data.fimi"
+        write_fimi(original, path)
+        loaded = read_fimi(path)
+        assert loaded.n_transactions == original.n_transactions
+        assert all(np.array_equal(a, b) for a, b in
+                   zip(loaded.transactions, original.transactions))
+
+    def test_write_to_handle(self):
+        db = TransactionDatabase([[0, 1]], n_items=2)
+        buffer = io.StringIO()
+        write_fimi(db, buffer)
+        assert buffer.getvalue() == "0 1\n"

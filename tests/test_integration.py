@@ -1,0 +1,118 @@
+"""Cross-module integration tests.
+
+These exercise whole user-visible workflows end to end on realistic data:
+Quest-style market baskets, the WebDocs surrogate, FIMI round-trips through
+the mining pipeline, and agreement between every pair-mining engine the
+library ships.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.baselines.apriori import AprioriMiner
+from repro.baselines.bitmap import BitmapIndex
+from repro.baselines.eclat import EclatMiner
+from repro.baselines.fpgrowth import FPGrowthMiner
+from repro.core.collection import BatmapCollection
+from repro.datasets.fimi_io import parse_fimi_lines, write_fimi
+from repro.datasets.ibm_quest import generate_quest_dataset, QuestParameters
+from repro.datasets.webdocs import generate_webdocs_like
+from repro.kernels.driver import run_batmap_pair_counts, run_bitmap_pair_counts
+from repro.mining.pair_mining import BatmapPairMiner
+
+
+class TestAllEnginesAgree:
+    """Every engine in the library must report identical frequent pairs."""
+
+    @pytest.mark.parametrize("min_support", [2, 5])
+    def test_quest_market_baskets(self, min_support):
+        db = generate_quest_dataset(
+            QuestParameters(n_items=60, n_transactions=150, avg_transaction_length=8.0),
+            rng=0)
+        n = db.n_items
+        batmap = BatmapPairMiner(tile_size=64).mine_pairs(db, n, min_support, rng=0)
+        apriori = AprioriMiner().mine_pairs(db.transactions, n, min_support)
+        fp = FPGrowthMiner().mine_pairs(db.transactions, n, min_support)
+        eclat = EclatMiner().mine_pairs(db.transactions, n, min_support)
+        assert batmap == apriori == fp == eclat
+
+    def test_webdocs_surrogate(self):
+        db = generate_webdocs_like(60, vocabulary_size=2_000, mean_length=25.0, rng=1)
+        filtered, _ = db.filter_by_support(2)
+        batmap = BatmapPairMiner(tile_size=128).mine_pairs(filtered, filtered.n_items, 2, rng=0)
+        fp = FPGrowthMiner().mine_pairs(filtered.transactions, filtered.n_items, 2)
+        assert batmap == fp
+
+    def test_device_kernels_agree_with_each_other(self):
+        """Batmap and bitmap kernels must produce the same pair counts."""
+        db = generate_quest_dataset(
+            QuestParameters(n_items=40, n_transactions=120, avg_transaction_length=6.0),
+            rng=2)
+        tidlists = db.tidlists()
+        m = db.n_transactions
+        coll = BatmapCollection.build(tidlists, m, rng=0)
+        batmap_run = run_batmap_pair_counts(coll, tile_size=64)
+        bitmap_run = run_bitmap_pair_counts(BitmapIndex.from_sets(tidlists, m), tile_size=64)
+        remapped = np.zeros_like(batmap_run.counts)
+        remapped[np.ix_(coll.order, coll.order)] = batmap_run.counts
+        if not any(coll.batmap(i).failed for i in range(len(coll))):
+            off_diag = ~np.eye(len(coll), dtype=bool)
+            assert np.array_equal(remapped[off_diag], bitmap_run.counts[off_diag])
+
+
+class TestFimiWorkflow:
+    def test_mine_pairs_from_fimi_text(self):
+        """A user can go FIMI text -> database -> mining -> pairs in a few lines."""
+        text = "\n".join(
+            " ".join(str(x) for x in row)
+            for row in [[0, 1, 2], [1, 2], [0, 2, 3], [2, 3], [0, 1, 2, 3]]
+        )
+        db = parse_fimi_lines(io.StringIO(text).read().splitlines())
+        report = BatmapPairMiner(tile_size=16).mine(db, min_support=2, rng=0)
+        pairs = report.supports.frequent_pairs(2)
+        expected = AprioriMiner().mine_pairs(db.transactions, db.n_items, 2)
+        assert pairs == expected
+
+    def test_roundtrip_preserves_mining_results(self, tmp_path):
+        db = generate_quest_dataset(
+            QuestParameters(n_items=30, n_transactions=80, avg_transaction_length=5.0),
+            rng=3)
+        path = tmp_path / "quest.fimi"
+        write_fimi(db, path)
+        loaded = parse_fimi_lines(path.read_text().splitlines(), n_items=db.n_items)
+        original = FPGrowthMiner().mine_pairs(db.transactions, db.n_items, 2)
+        reloaded = FPGrowthMiner().mine_pairs(loaded.transactions, loaded.n_items, 2)
+        assert original == reloaded
+
+
+class TestScaleRobustness:
+    def test_larger_universe_uses_feistel_permutations(self):
+        """Collections over multi-million-element universes must still be correct."""
+        from repro.core.config import BatmapConfig
+        from repro.core.hashing import FeistelPermutation, HashFamily
+
+        m = 5_000_000
+        cfg = BatmapConfig()
+        family = HashFamily.create(m, shift=cfg.shift_for_universe(m), rng=0,
+                                   force_permutation="feistel")
+        assert all(isinstance(p, FeistelPermutation) for p in family.permutations)
+        rng = np.random.default_rng(0)
+        sets = [np.sort(rng.choice(m, size=400, replace=False)) for _ in range(4)]
+        coll = BatmapCollection.build(sets, m, family=family)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                failed = set(coll.batmap(i).failed) | set(coll.batmap(j).failed)
+                expected = len((set(sets[i].tolist()) & set(sets[j].tolist())) - failed)
+                assert coll.count_pair(i, j) == expected
+
+    def test_empty_and_singleton_sets_in_collection(self):
+        coll = BatmapCollection.build([[], [7], [7, 8], list(range(50))], 64, rng=0)
+        result = run_batmap_pair_counts(coll, tile_size=4)
+        remapped = np.zeros_like(result.counts)
+        remapped[np.ix_(coll.order, coll.order)] = result.counts
+        assert remapped[0, 1] == 0
+        assert remapped[1, 2] == 1
+        assert remapped[2, 3] == 2
+        assert remapped[0, 3] == 0

@@ -1,0 +1,76 @@
+"""Tests for the CPU throughput model (Fig. 11) and split scaling (Fig. 9)."""
+
+import pytest
+
+from repro.baselines.apriori import AprioriMiner
+from repro.datasets.synthetic import generate_fixed_transactions
+from repro.gpu.device import XEON_5462
+from repro.parallel.cpu import (
+    cpu_throughput_series,
+    measure_single_core_throughput,
+    model_multicore_throughput,
+)
+from repro.parallel.scaling import measure_split_scaling, relative_speedups
+
+
+class TestCpuThroughput:
+    def test_single_core_measurement(self):
+        point = measure_single_core_throughput(n_words=200_000, repeats=2, rng=0)
+        assert point.cores == 1
+        assert point.gbytes_per_second > 0
+        assert point.seconds > 0
+        assert not point.modelled
+
+    def test_model_saturates_at_memory_bandwidth(self):
+        single = 2.5
+        t8 = model_multicore_throughput(single, 8, device=XEON_5462)
+        t4 = model_multicore_throughput(single, 4, device=XEON_5462)
+        t1 = model_multicore_throughput(single, 1, device=XEON_5462)
+        assert t1 == pytest.approx(single)
+        assert t4 <= XEON_5462.memory_bandwidth_gbps
+        assert t8 <= XEON_5462.memory_bandwidth_gbps * 0.6 + 1e-9
+        # saturation: going from 4 to 8 cores helps much less than 1 -> 2
+        assert (t8 - t4) < (model_multicore_throughput(single, 2) - t1)
+
+    def test_series_shape(self):
+        series = cpu_throughput_series(core_counts=(1, 2, 4, 8), n_words=100_000, rng=1)
+        assert [p.cores for p in series] == [1, 2, 4, 8]
+        gbps = [p.gbytes_per_second for p in series]
+        assert all(b > 0 for b in gbps)
+        assert gbps[-1] >= gbps[0]          # more cores never slower
+        assert series[0].modelled is False and series[-1].modelled is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_single_core_throughput(n_words=0)
+        with pytest.raises(ValueError):
+            model_multicore_throughput(0.0, 4)
+
+
+class TestSplitScaling:
+    def _db(self):
+        return generate_fixed_transactions(20, 0.25, 240, rng=0)
+
+    def test_points_and_speedups(self):
+        db = self._db()
+        miner = AprioriMiner(max_size=2)
+        points = measure_split_scaling(
+            lambda t, n, s: miner.mine_pairs(t, n, s), db, min_support=2,
+            core_counts=(1, 2, 4))
+        assert [p.cores for p in points] == [1, 2, 4]
+        assert all(p.seconds > 0 for p in points)
+        assert all(len(p.part_seconds) == p.cores for p in points)
+        assert all(p.imbalance >= 1.0 for p in points)
+        speedups = relative_speedups(points)
+        assert speedups[1] == pytest.approx(1.0)
+        # simulated parallelism can never exceed the ideal linear speedup by much
+        assert speedups[4] <= 4.5
+
+    def test_validation(self):
+        db = self._db()
+        with pytest.raises(ValueError):
+            measure_split_scaling(lambda t, n, s: None, db, min_support=0)
+        with pytest.raises(ValueError):
+            measure_split_scaling(lambda t, n, s: None, db, 1, core_counts=())
+        with pytest.raises(ValueError):
+            relative_speedups([])

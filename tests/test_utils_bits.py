@@ -1,0 +1,112 @@
+"""Unit tests for repro.utils.bits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bits import (
+    ilog2,
+    is_power_of_two,
+    next_power_of_two,
+    pack_bytes_to_words,
+    popcount32,
+    popcount_array,
+    unpack_words_to_bytes,
+)
+
+
+class TestNextPowerOfTwo:
+    def test_small_values(self):
+        assert next_power_of_two(0) == 1
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(2) == 2
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(4) == 4
+        assert next_power_of_two(5) == 8
+
+    def test_large_value(self):
+        assert next_power_of_two((1 << 40) + 1) == 1 << 41
+
+    def test_exact_powers_unchanged(self):
+        for k in range(20):
+            assert next_power_of_two(1 << k) == 1 << k
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(-1)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_property_bounds(self, n):
+        p = next_power_of_two(n)
+        assert is_power_of_two(p)
+        assert p >= n
+        assert p < 2 * n or n == 1
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        assert all(is_power_of_two(1 << k) for k in range(31))
+
+    def test_non_powers(self):
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-4)
+        assert not is_power_of_two(6)
+        assert not is_power_of_two(12)
+
+
+class TestIlog2:
+    def test_values(self):
+        assert ilog2(1) == 0
+        assert ilog2(2) == 1
+        assert ilog2(1024) == 10
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            ilog2(3)
+        with pytest.raises(ValueError):
+            ilog2(0)
+
+
+class TestPopcount:
+    def test_single_values(self):
+        assert popcount32(0) == 0
+        assert popcount32(0xFFFFFFFF) == 32
+        assert popcount32(0x80808080) == 4
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            popcount32(-1)
+        with pytest.raises(ValueError):
+            popcount32(1 << 32)
+
+    def test_array_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        words = rng.integers(0, 1 << 32, size=1000, dtype=np.uint32)
+        got = popcount_array(words)
+        expected = np.array([popcount32(int(w)) for w in words])
+        assert np.array_equal(got, expected)
+
+    def test_array_shape_preserved(self):
+        words = np.zeros((3, 5), dtype=np.uint32)
+        assert popcount_array(words).shape == (3, 5)
+
+
+class TestPacking:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 256, size=64, dtype=np.uint8)
+        assert np.array_equal(unpack_words_to_bytes(pack_bytes_to_words(data)), data)
+
+    def test_byte_order_is_little_endian(self):
+        data = np.array([0x01, 0x02, 0x03, 0x80], dtype=np.uint8)
+        word = pack_bytes_to_words(data)[0]
+        assert int(word) == 0x80030201
+
+    def test_rejects_non_multiple_of_four(self):
+        with pytest.raises(ValueError):
+            pack_bytes_to_words(np.zeros(5, dtype=np.uint8))
+
+    @given(st.lists(st.integers(0, 255), min_size=0, max_size=64).filter(lambda v: len(v) % 4 == 0))
+    def test_property_roundtrip(self, values):
+        data = np.array(values, dtype=np.uint8)
+        assert np.array_equal(unpack_words_to_bytes(pack_bytes_to_words(data)), data)

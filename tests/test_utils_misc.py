@@ -1,0 +1,114 @@
+"""Unit tests for timers, RNG plumbing, memory helpers and validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.memory import human_bytes, sizeof_array
+from repro.utils.rng import derive_seed, make_rng
+from repro.utils.timer import PhaseTimer, Timer
+from repro.utils.validation import (
+    require,
+    require_in_range,
+    require_positive,
+    require_power_of_two,
+)
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            pass
+        assert t.elapsed >= first >= 0.0
+
+    def test_double_start_raises(self):
+        t = Timer()
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+
+
+class TestPhaseTimer:
+    def test_phases_accumulate(self):
+        pt = PhaseTimer()
+        with pt.time("pre"):
+            pass
+        with pt.time("pre"):
+            pass
+        with pt.time("gpu"):
+            pass
+        assert set(pt.as_dict()) == {"pre", "gpu"}
+        assert pt.total == pytest.approx(pt.get("pre") + pt.get("gpu"))
+
+    def test_add_negative_raises(self):
+        with pytest.raises(ValueError):
+            PhaseTimer().add("x", -1.0)
+
+    def test_missing_phase_is_zero(self):
+        assert PhaseTimer().get("nope") == 0.0
+
+
+class TestRng:
+    def test_int_seed_reproducible(self):
+        assert make_rng(3).integers(0, 100, 5).tolist() == make_rng(3).integers(0, 100, 5).tolist()
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert make_rng(g) is g
+
+    def test_derive_seed_in_range(self):
+        g = make_rng(0)
+        s = derive_seed(g)
+        assert 0 <= s < (1 << 63)
+
+    def test_derive_seed_bits_validation(self):
+        with pytest.raises(ValueError):
+            derive_seed(make_rng(0), bits=0)
+        with pytest.raises(ValueError):
+            derive_seed(make_rng(0), bits=64)
+
+
+class TestMemory:
+    def test_sizeof_array(self):
+        assert sizeof_array(np.zeros(10, dtype=np.uint32)) == 40
+
+    def test_human_bytes(self):
+        assert human_bytes(512) == "512.00 B"
+        assert human_bytes(3 * 2**20) == "3.00 MiB"
+        assert human_bytes(5 * 2**30) == "5.00 GiB"
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+    def test_require_positive(self):
+        require_positive(1, "x")
+        with pytest.raises(ValueError):
+            require_positive(0, "x")
+
+    def test_require_in_range(self):
+        require_in_range(0.5, 0, 1, "p")
+        with pytest.raises(ValueError):
+            require_in_range(1.5, 0, 1, "p")
+
+    def test_require_power_of_two(self):
+        require_power_of_two(8, "r")
+        with pytest.raises(ValueError):
+            require_power_of_two(6, "r")
