@@ -27,6 +27,9 @@ from repro.core.config import BatmapConfig
 from repro.kernels.driver import run_batmap_pair_counts
 from repro.kernels.tiling import TileScheduler
 
+pytestmark = pytest.mark.bench
+
+
 N_ITEMS = 96
 DENSITY = 0.05
 

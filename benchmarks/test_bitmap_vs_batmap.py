@@ -19,6 +19,9 @@ from repro.baselines.bitmap import BitmapIndex
 from repro.core.collection import BatmapCollection
 from repro.kernels.driver import run_batmap_pair_counts, run_bitmap_pair_counts
 
+pytestmark = pytest.mark.bench
+
+
 N_ITEMS = 96
 DENSE = 0.40
 SPARSE = 0.006

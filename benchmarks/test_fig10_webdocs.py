@@ -22,6 +22,9 @@ from benchmarks.harness import (
 )
 from repro.datasets.webdocs import generate_webdocs_like, vocabulary_growth
 
+pytestmark = pytest.mark.bench
+
+
 PREFIX_SIZES = [40, 80, 160]
 VOCABULARY = 15_000
 MIN_SUPPORT = 2

@@ -23,6 +23,8 @@ from repro.parallel.cpu import (
     model_multicore_throughput,
 )
 
+pytestmark = pytest.mark.bench
+
 CORE_COUNTS = (1, 2, 4, 8)
 N_WORDS = 1_000_000  # 4 MB per operand; the paper uses 20 MB
 

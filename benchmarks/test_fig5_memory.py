@@ -24,6 +24,9 @@ from repro.baselines.apriori import AprioriMiner
 from repro.baselines.fpgrowth import FPGrowthMiner
 from repro.mining.preprocess import preprocess
 
+pytestmark = pytest.mark.bench
+
+
 #: scaled sweep of the number of distinct items (paper: 4k .. 128k)
 N_ITEMS_SWEEP = [40, 80, 160, 320, 640]
 DENSITY = 0.05

@@ -26,6 +26,8 @@ from benchmarks.harness import (
     time_call,
 )
 
+pytestmark = pytest.mark.bench
+
 N_ITEMS_SWEEP = [40, 80, 160, 320, 640]
 DENSITY = 0.05
 

@@ -23,6 +23,8 @@ from benchmarks.harness import (
     time_call,
 )
 
+pytestmark = pytest.mark.bench
+
 DENSITY_SWEEP = [0.002, 0.005, 0.01, 0.02, 0.05, 0.1]
 N_ITEMS = 200
 

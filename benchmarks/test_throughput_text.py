@@ -23,6 +23,9 @@ from repro.analysis.throughput import compute_throughput
 from repro.baselines.merge import intersection_size_numpy, intersection_size_sorted
 from repro.gpu.device import GTX_285
 
+pytestmark = pytest.mark.bench
+
+
 N_ITEMS = 160
 DENSITY = 0.05
 

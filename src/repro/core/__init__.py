@@ -8,8 +8,11 @@ Public entry points:
   sets sharing one hash family (the normal way to use the library).
 * :func:`~repro.core.intersection.count_common` — intersection size of two
   batmaps.
+* :class:`~repro.core.batch.BatchPairCounter` — vectorised all-pairs /
+  pairs-list / top-k counting over a whole collection (the host hot path).
 """
 
+from repro.core.batch import BatchPairCounter, WidthClass
 from repro.core.batmap import Batmap, build_batmap
 from repro.core.builder import EMPTY, Placement, PlacementStats, place_set
 from repro.core.collection import BatmapCollection, DeviceBuffer
@@ -46,6 +49,8 @@ from repro.core.swar import (
 
 __all__ = [
     "Batmap",
+    "BatchPairCounter",
+    "WidthClass",
     "build_batmap",
     "EMPTY",
     "Placement",

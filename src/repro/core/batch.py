@@ -1,0 +1,356 @@
+"""Vectorized batch pair counting over a packed :class:`BatmapCollection`.
+
+The host-side reference path used to compute every intersection count with a
+per-pair Python call (``count_common`` inside a double loop): one
+``_check_compatible`` validation, one re-tiling of the smaller batmap and one
+SWAR pass *per pair*.  For ``n`` sets that is ``O(n^2)`` interpreter overhead
+dominating the actual bit work.
+
+This module replaces that loop with a **batch engine** that operates directly
+on the flat device buffer the collection already builds for the GPU
+simulator:
+
+* batmaps are grouped into *width classes* (same packed word width, i.e. the
+  same hash range ``r``); each class is materialised as one dense
+  ``(n_class, width)`` ``uint32`` matrix gathered from the device buffer;
+* all pairs within a class — and all cross-class pairs, folded through the
+  range-nesting property ``h mod r_small == (h mod r_large) mod r_small`` —
+  are counted with *one broadcasted SWAR comparison per class pair*, chunked
+  to bound peak memory;
+* compatibility (shared hash family, compression floor) is validated **once**
+  per engine, not once per pair.
+
+Because the interleaved device layout of Figure 4 is block-aligned to the
+collection granularity ``r0 >= 4`` (a power of two, so every table slice is
+32-bit aligned), folding word position ``p`` of a wide batmap onto word
+position ``p mod width_small`` of a narrow one matches exactly the per-row
+``mod r_small`` folding of :func:`repro.core.intersection.count_common` —
+the engine's counts are bit-identical to the per-pair reference.
+
+The engine is the shared hot path for :meth:`BatmapCollection.count_all_pairs`,
+the boolean-matrix workloads (:mod:`repro.matrix.multiply`) and the mining
+pipeline's host compute mode (:mod:`repro.mining.pair_mining`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import LayoutError
+from repro.core.intersection import require_compression_floor, require_same_family
+from repro.utils.validation import require, require_positive
+
+__all__ = ["WidthClass", "BatchPairCounter", "DEFAULT_BLOCK_WORDS"]
+
+#: Upper bound on the number of packed words materialised by one broadcasted
+#: comparison (the engine chunks the outer operand to stay below it).
+DEFAULT_BLOCK_WORDS = 1 << 23
+
+# SWAR constants for both lane widths.  The engine processes two packed
+# 32-bit device words per operation (uint64 lanes) whenever the row width is
+# even; byte order is preserved by the little-endian view, so the per-byte
+# match condition is exactly the one of :mod:`repro.core.swar`.
+_MSB = {np.dtype(np.uint32): np.uint32(0x80808080),
+        np.dtype(np.uint64): np.uint64(0x8080808080808080)}
+_LSB = {np.dtype(np.uint32): np.uint32(0x01010101),
+        np.dtype(np.uint64): np.uint64(0x0101010101010101)}
+_ONES = {np.dtype(np.uint32): np.uint32(0xFFFFFFFF),
+         np.dtype(np.uint64): np.uint64(0xFFFFFFFFFFFFFFFF)}
+_SEVEN = {np.dtype(np.uint32): np.uint32(7), np.dtype(np.uint64): np.uint64(7)}
+
+#: Words per width chunk: each byte lane accumulates at most one match per
+#: word, so chunks of <= 255 words cannot overflow a uint8 lane counter.
+_LANE_CHUNK = 252
+
+
+def _view_widest(a: np.ndarray) -> np.ndarray:
+    """Reinterpret a ``(n, w)`` uint32 matrix as uint64 lanes when ``w`` is even."""
+    if a.shape[1] % 2 == 0:
+        return a.view(np.uint64)
+    return a
+
+
+def _match_count_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """All-pairs match counts between the rows of ``a`` (n_a, w) and ``b`` (n_b, w).
+
+    One fused SWAR pass per width chunk: compute the per-byte match mask
+    (payloads equal, indicator OR set — the condition of
+    :func:`repro.core.swar.match_bits`), turn the masked MSBs into per-byte
+    0/1 lanes, sum the lanes along the width axis (safe from overflow within
+    a chunk) and fold the byte lanes into the int64 result.
+    """
+    dt = a.dtype
+    msb, lsb, ones, seven = _MSB[dt], _LSB[dt], _ONES[dt], _SEVEN[dt]
+    n_a, w = a.shape
+    n_b = b.shape[0]
+    out = np.zeros((n_a, n_b), dtype=np.int64)
+    for start in range(0, w, _LANE_CHUNK):
+        stop = min(w, start + _LANE_CHUNK)
+        x = a[:, None, start:stop]
+        y = b[None, :, start:stop]
+        p = ((x ^ y) | msb) - lsb
+        matched = (p ^ ones) & ((x | y) & msb)
+        # per-byte 0/1 lanes; lane sums stay < 256 within a chunk, so the
+        # reduction cannot carry across byte lanes (dtype pinned: NumPy would
+        # otherwise promote uint32 to uint64)
+        lanes = np.add.reduce((matched >> seven) & lsb, axis=2, dtype=dt)
+        out += lanes.view(np.uint8).reshape(n_a, n_b, dt.itemsize).sum(axis=2, dtype=np.int64)
+    return out
+
+
+def _match_count_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-aligned match counts: row ``k`` of ``a`` against row ``k`` of ``b``."""
+    dt = a.dtype
+    msb, lsb, ones, seven = _MSB[dt], _LSB[dt], _ONES[dt], _SEVEN[dt]
+    n, w = a.shape
+    out = np.zeros(n, dtype=np.int64)
+    for start in range(0, w, _LANE_CHUNK):
+        stop = min(w, start + _LANE_CHUNK)
+        x = a[:, start:stop]
+        y = b[:, start:stop]
+        p = ((x ^ y) | msb) - lsb
+        matched = (p ^ ones) & ((x | y) & msb)
+        lanes = np.add.reduce((matched >> seven) & lsb, axis=1, dtype=dt)
+        out += lanes.view(np.uint8).reshape(n, dt.itemsize).sum(axis=1, dtype=np.int64)
+    return out
+
+
+@dataclass(frozen=True, eq=False)
+class WidthClass:
+    """All batmaps of one packed width, gathered into a dense word matrix.
+
+    ``eq=False``: the ndarray fields make the generated ``__eq__`` raise on
+    ambiguous truth values; identity comparison is the meaningful one here.
+    """
+
+    width: int                  #: packed width in 32-bit words (3 * r / 4)
+    sorted_indices: np.ndarray  #: sorted-order slots of the members, ascending
+    words: np.ndarray           #: uint32 matrix of shape (n_members, width)
+
+    def __len__(self) -> int:
+        return int(self.sorted_indices.size)
+
+
+class BatchPairCounter:
+    """All-pairs / pairs-list / top-k intersection counts for one collection.
+
+    The engine validates compatibility once, gathers the packed words once,
+    and answers every subsequent query with broadcasted NumPy SWAR — no
+    per-pair Python call.  Build it through
+    :meth:`repro.core.collection.BatmapCollection.batch_counter`, which caches
+    one instance per collection.
+    """
+
+    def __init__(self, collection, *, block_words: int = DEFAULT_BLOCK_WORDS) -> None:
+        require_positive(block_words, "block_words")
+        self.collection = collection
+        self.block_words = int(block_words)
+        self._validate(collection)
+
+        buffer = collection.device_buffer()
+        self._widths = np.asarray(buffer.widths, dtype=np.int64)
+        self._counts_sorted: np.ndarray | None = None
+
+        n = len(collection)
+        self.classes: list[WidthClass] = []
+        #: per sorted slot: index of its width class / its row inside the class
+        self._class_of = np.empty(n, dtype=np.int64)
+        self._row_of = np.empty(n, dtype=np.int64)
+        for class_index, width in enumerate(np.unique(self._widths).tolist()):
+            members = np.nonzero(self._widths == width)[0]
+            gather = buffer.offsets[members][:, None] + np.arange(int(width))[None, :]
+            self.classes.append(WidthClass(
+                width=int(width),
+                sorted_indices=members,
+                words=buffer.words[gather],
+            ))
+            self._class_of[members] = class_index
+            self._row_of[members] = np.arange(members.size)
+        for small, large in zip(self.classes, self.classes[1:]):
+            require(large.width % small.width == 0,
+                    f"width {large.width} is not a multiple of width {small.width}; "
+                    "ranges must be nested powers of two")
+
+    # ------------------------------------------------------------------ #
+    # Validation (once per engine, replacing the per-pair _check_compatible)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _validate(collection) -> None:
+        batmaps = collection.batmaps_sorted
+        require(len(batmaps) > 0, "cannot build a batch counter for an empty collection")
+        family = batmaps[0].family
+        for bm in batmaps[1:]:
+            require_same_family(family, bm.family)
+        r0 = collection.r0
+        require_compression_floor(r0, family.shift)
+        if r0 < 4:
+            raise LayoutError(
+                f"batch counting requires word-aligned ranges (r0 >= 4), got r0 = {r0}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Low-level blocked SWAR comparisons
+    # ------------------------------------------------------------------ #
+    def _equal_width_counts(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Pairwise match counts between two word matrices of the same width.
+
+        Chunks the rows of ``a`` so no broadcast temporary exceeds the block
+        budget, and widens to uint64 lanes (two device words per operation)
+        whenever the width allows.
+        """
+        aw = _view_widest(a)
+        bw = _view_widest(b)
+        n_a, width = aw.shape
+        n_b = bw.shape[0]
+        out = np.empty((n_a, n_b), dtype=np.int64)
+        rows = max(1, self.block_words // max(1, n_b * max(1, width)))
+        for start in range(0, n_a, rows):
+            stop = min(n_a, start + rows)
+            out[start:stop] = _match_count_matrix(aw[start:stop], bw)
+        return out
+
+    def _folded_counts(self, large: np.ndarray, small: np.ndarray) -> np.ndarray:
+        """Pairwise counts (rows of ``large`` x rows of ``small``), folding wide onto narrow.
+
+        Word position ``p`` of a wide batmap compares against position
+        ``p mod width_small`` of the narrow one, so the wide matrix is
+        processed as ``reps`` contiguous blocks each compared against the
+        whole narrow matrix.
+        """
+        width_small = small.shape[1]
+        reps = large.shape[1] // width_small
+        if reps == 1:
+            return self._equal_width_counts(large, small)
+        total = np.zeros((large.shape[0], small.shape[0]), dtype=np.int64)
+        for block in range(reps):
+            sl = slice(block * width_small, (block + 1) * width_small)
+            total += self._equal_width_counts(large[:, sl], small)
+        return total
+
+    def _class_cross_counts(self, ci: WidthClass, cj: WidthClass) -> np.ndarray:
+        """Counts for every (member of ``ci``) x (member of ``cj``) pair."""
+        if ci.width >= cj.width:
+            return self._folded_counts(ci.words, cj.words)
+        return self._folded_counts(cj.words, ci.words).T
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def counts_sorted(self) -> np.ndarray:
+        """Dense ``n x n`` count matrix in width-sorted (device) order, cached.
+
+        The diagonal needs no special-casing: comparing a batmap with itself
+        matches exactly the slots whose indicator bit is set, one per stored
+        element, i.e. :attr:`Batmap.stored_count`.
+        """
+        if self._counts_sorted is None:
+            n = len(self.collection)
+            out = np.zeros((n, n), dtype=np.int64)
+            for i, ci in enumerate(self.classes):
+                block = self._equal_width_counts(ci.words, ci.words)
+                out[np.ix_(ci.sorted_indices, ci.sorted_indices)] = block
+                for cj in self.classes[i + 1:]:
+                    cross = self._folded_counts(cj.words, ci.words)  # (n_j, n_i)
+                    out[np.ix_(cj.sorted_indices, ci.sorted_indices)] = cross
+                    out[np.ix_(ci.sorted_indices, cj.sorted_indices)] = cross.T
+            self._counts_sorted = out
+        return self._counts_sorted
+
+    def count_all_pairs(self) -> np.ndarray:
+        """Dense ``n x n`` count matrix indexed by *original* set indices."""
+        order = self.collection.order
+        out = np.empty_like(self.counts_sorted())
+        out[np.ix_(order, order)] = self.counts_sorted()
+        return out
+
+    def count_pairs(self, pairs) -> np.ndarray:
+        """Counts for an explicit list of ``(i, j)`` original-index pairs.
+
+        Pairs are grouped by their (width, width) class combination so each
+        group is answered with one vectorised folded comparison; the result
+        keeps the input order.
+        """
+        pairs = np.asarray(pairs, dtype=np.int64)
+        require(pairs.ndim == 2 and pairs.shape[1] == 2,
+                f"pairs must have shape (k, 2), got {pairs.shape}")
+        if pairs.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        rank = self.collection.rank
+        a = rank[pairs[:, 0]]
+        b = rank[pairs[:, 1]]
+        # orient every pair as (wide, narrow)
+        swap = self._widths[a] < self._widths[b]
+        wide = np.where(swap, b, a)
+        narrow = np.where(swap, a, b)
+        out = np.empty(pairs.shape[0], dtype=np.int64)
+        combos = np.stack([self._class_of[wide], self._class_of[narrow]], axis=1)
+        for ci_idx, cj_idx in np.unique(combos, axis=0).tolist():
+            mask = (combos[:, 0] == ci_idx) & (combos[:, 1] == cj_idx)
+            ci, cj = self.classes[ci_idx], self.classes[cj_idx]
+            large = ci.words[self._row_of[wide[mask]]]
+            small = cj.words[self._row_of[narrow[mask]]]
+            width_small = cj.width
+            reps = ci.width // width_small
+            acc = np.zeros(int(mask.sum()), dtype=np.int64)
+            small_w = _view_widest(small)
+            for block in range(reps):
+                sl = slice(block * width_small, (block + 1) * width_small)
+                acc += _match_count_rows(_view_widest(large[:, sl]), small_w)
+            out[mask] = acc
+        return out
+
+    def count_pair(self, i: int, j: int) -> int:
+        """Stored-copy intersection count of original sets ``i`` and ``j``."""
+        return int(self.count_pairs(np.array([[i, j]], dtype=np.int64))[0])
+
+    def count_cross(self, rows, cols) -> np.ndarray:
+        """Rectangular count matrix between two lists of original indices.
+
+        This is the boolean-matrix-product shape: entry ``(p, q)`` is the
+        intersection count of original sets ``rows[p]`` and ``cols[q]``.
+        """
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        cols = np.asarray(cols, dtype=np.int64).ravel()
+        rank = self.collection.rank
+        row_slots = rank[rows]
+        col_slots = rank[cols]
+        out = np.zeros((rows.size, cols.size), dtype=np.int64)
+        row_classes = np.unique(self._class_of[row_slots]) if rows.size else []
+        col_classes = np.unique(self._class_of[col_slots]) if cols.size else []
+        for ci_idx in np.asarray(row_classes).tolist():
+            row_mask = self._class_of[row_slots] == ci_idx
+            ci = self.classes[ci_idx]
+            a = ci.words[self._row_of[row_slots[row_mask]]]
+            for cj_idx in np.asarray(col_classes).tolist():
+                col_mask = self._class_of[col_slots] == cj_idx
+                cj = self.classes[cj_idx]
+                b = cj.words[self._row_of[col_slots[col_mask]]]
+                if ci.width >= cj.width:
+                    block = self._folded_counts(a, b)
+                else:
+                    block = self._folded_counts(b, a).T
+                out[np.ix_(np.nonzero(row_mask)[0], np.nonzero(col_mask)[0])] = block
+        return out
+
+    def top_k(self, k: int) -> list[tuple[tuple[int, int], int]]:
+        """The ``k`` off-diagonal pairs with the largest counts.
+
+        Returns ``[((i, j), count), ...]`` with ``i < j`` in original indices,
+        descending by count with ties broken by the index pair (the same
+        ranking convention as :meth:`repro.mining.support.PairSupports.top_k`).
+        """
+        require_positive(k, "k")
+        counts = self.count_all_pairs()
+        n = counts.shape[0]
+        iu, ju = np.triu_indices(n, 1)
+        values = counts[iu, ju]
+        k = min(k, values.size)
+        if k == 0:
+            return []
+        # partial-select then exact-sort only the selected candidates
+        candidate = np.argpartition(values, -k)[-k:]
+        order = np.lexsort((ju[candidate], iu[candidate], -values[candidate]))
+        ranked = candidate[order]
+        return [((int(iu[idx]), int(ju[idx])), int(values[idx])) for idx in ranked]

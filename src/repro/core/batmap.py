@@ -114,16 +114,26 @@ class Batmap:
                 raise LayoutError(
                     "payload overflow: increase payload_bits or the hash-family shift"
                 )
-            for idx in range(stored.size):
-                tables = np.nonzero(present[:, idx])[0]
-                if tables.size != 2:  # pragma: no cover - guarded by Placement.validate
-                    raise LayoutError(
-                        f"element {int(stored[idx])} stored in {tables.size} tables"
-                    )
-                ta, tb = int(tables[0]), int(tables[1])
-                bit_a, bit_b = _indicator_bits(ta, tb)
-                entries[ta, pos[ta, idx]] = np.uint8((bit_a << 7) | int(payloads[ta, idx]))
-                entries[tb, pos[tb, idx]] = np.uint8((bit_b << 7) | int(payloads[tb, idx]))
+            copies = present.sum(axis=0)
+            if np.any(copies != 2):  # pragma: no cover - guarded by Placement.validate
+                bad = int(stored[np.argmax(copies != 2)])
+                raise LayoutError(
+                    f"element {bad} stored in {int(copies[np.argmax(copies != 2)])} tables"
+                )
+            # First and last table holding each element (exactly two are set).
+            idx = np.arange(stored.size)
+            table_a = np.argmax(present, axis=0)
+            table_b = 2 - np.argmax(present[::-1], axis=0)
+            # Indicator bits of _INDICATOR: the pair {0, 2} is cyclically
+            # ordered 2 -> 0, so only there the *first* table carries bit 1.
+            bit_a = ((table_a == 0) & (table_b == 2)).astype(np.uint8)
+            bit_b = np.uint8(1) - bit_a
+            entries[table_a, pos[table_a, idx]] = (
+                (bit_a << 7) | payloads[table_a, idx].astype(np.uint8)
+            )
+            entries[table_b, pos[table_b, idx]] = (
+                (bit_b << 7) | payloads[table_b, idx].astype(np.uint8)
+            )
 
         return cls(
             family=family,
@@ -144,10 +154,18 @@ class Batmap:
         return self.set_size - len(self.failed)
 
     def contains(self, element: int) -> bool:
-        """Membership test by probing the element's three candidate slots."""
-        x = np.array([int(element)], dtype=np.int64)
+        """Membership test by probing the element's three candidate slots.
+
+        Elements whose cuckoo insertion failed carry no stored copies but are
+        still members of the represented set (they count towards
+        ``set_size``/``len`` and are re-added by the repair path), so the
+        failed list is consulted before probing.
+        """
         if element < 0 or element >= self.family.universe_size:
             return False
+        if int(element) in self.failed:
+            return True
+        x = np.array([int(element)], dtype=np.int64)
         for t in range(3):
             p = int(self.family.positions(t, x, self.r)[0])
             entry = int(self.entries[t, p])

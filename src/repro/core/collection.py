@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.batch import BatchPairCounter
 from repro.core.batmap import Batmap
 from repro.core.builder import place_set
 from repro.core.config import BatmapConfig, DEFAULT_CONFIG
@@ -89,6 +90,7 @@ class BatmapCollection:
         self.rank = np.empty_like(order)
         self.rank[order] = np.arange(order.size)
         self._device_buffer: DeviceBuffer | None = None
+        self._batch_counter: BatchPairCounter | None = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -173,19 +175,45 @@ class BatmapCollection:
         return failures
 
     # ------------------------------------------------------------------ #
-    # Host-side pair counting (reference path)
+    # Host-side pair counting (batch engine)
     # ------------------------------------------------------------------ #
+    def batch_counter(self) -> BatchPairCounter:
+        """The vectorised batch pair-counting engine for this collection (cached).
+
+        Built once; every host-side counting query — :meth:`count_pair`,
+        :meth:`count_all_pairs`, the boolean-matrix product and the mining
+        pipeline's host compute mode — goes through it.
+        """
+        if self._batch_counter is None:
+            self._batch_counter = BatchPairCounter(self)
+        return self._batch_counter
+
     def count_pair(self, i: int, j: int) -> int:
-        """Stored-copy intersection count of original sets ``i`` and ``j``."""
-        return count_common(self.batmap(i), self.batmap(j))
+        """Stored-copy intersection count of original sets ``i`` and ``j``.
+
+        A point query stays O(one pair): it only goes through the batch
+        engine once some bulk query has already built it (building the engine
+        gathers the whole packed buffer, which a single pair never amortises;
+        an existing engine also implies the word-aligned r0 >= 4 it validates).
+        """
+        if self._batch_counter is None:
+            return count_common(self.batmap(i), self.batmap(j))
+        return self._batch_counter.count_pair(i, j)
 
     def count_all_pairs(self) -> np.ndarray:
         """Dense ``n x n`` matrix of stored-copy intersection counts (host path).
 
-        Exploits symmetry; the diagonal holds each set's stored element count.
-        Intended for small ``n`` (tests and reference results) — the GPU
-        simulator path in :mod:`repro.kernels` is the scalable route.
+        Computed by the batch engine in one vectorised pass per width-class
+        pair — no per-pair Python call; the diagonal holds each set's stored
+        element count.  Results are bit-identical to looping
+        :func:`~repro.core.intersection.count_common` over every pair.
         """
+        if self.r0 < 4:
+            return self._count_all_pairs_loop()
+        return self.batch_counter().count_all_pairs()
+
+    def _count_all_pairs_loop(self) -> np.ndarray:
+        """Per-pair reference loop, kept for sub-word ranges and verification."""
         n = len(self)
         out = np.zeros((n, n), dtype=np.int64)
         for a in range(n):

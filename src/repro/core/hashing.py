@@ -24,7 +24,9 @@ Elements in this implementation are 0-based: ``x in {0, ..., m-1}``.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Protocol
 
 import numpy as np
@@ -56,17 +58,41 @@ class Permutation(Protocol):
         ...
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class ArrayPermutation:
     """A permutation stored explicitly as a lookup table.
 
     Fast and exactly uniform; memory is ``O(m)`` per permutation, which is
     fine for the transaction counts used in the experiments (``m`` up to a
     few million).
+
+    Equality is *structural* (same lookup table), not identity-based, so a
+    permutation survives a pickle round-trip into a worker process and still
+    compares equal to the original — batmaps built on both sides of the
+    process boundary remain comparable.  Comparison goes through a cached
+    content digest, so per-pair compatibility checks stay O(1) after the
+    first comparison instead of re-scanning an O(m) table every time.
     """
 
     table: np.ndarray
     inverse: np.ndarray
+
+    @cached_property
+    def _fingerprint(self) -> bytes:
+        return hashlib.sha256(self.table.tobytes()).digest()
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, ArrayPermutation):
+            return NotImplemented
+        if self.table is other.table:
+            return True
+        return (self.table.size == other.table.size
+                and self._fingerprint == other._fingerprint)
+
+    def __hash__(self) -> int:
+        return hash((int(self.table.size), self._fingerprint))
 
     @property
     def domain_size(self) -> int:
@@ -205,7 +231,7 @@ def make_permutations(
     return tuple(perms)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class HashFamily:
     """The three shared permutations plus the layout arithmetic of Section III-A.
 
@@ -214,11 +240,31 @@ class HashFamily:
     :meth:`positions` are *within one hash table* (row-local, in ``[0, r)``);
     the interleaved device layout offsets of the paper's formula are produced
     by :meth:`device_positions`.
+
+    Equality is *structural*: two families are equal iff they have the same
+    universe, shift and permutations, even when one is a pickled copy of the
+    other (e.g. shipped to a worker process for sharded serving).  The
+    identity fast path keeps the common same-object comparison O(1).
     """
 
     universe_size: int
     permutations: tuple[Permutation, ...]
     shift: int
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, HashFamily):
+            return NotImplemented
+        return (
+            self.universe_size == other.universe_size
+            and self.shift == other.shift
+            and self.permutations == other.permutations
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.universe_size, self.shift,
+                     tuple(hash(p) for p in self.permutations)))
 
     def __post_init__(self) -> None:
         require_positive(self.universe_size, "universe_size")

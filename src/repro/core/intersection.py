@@ -38,6 +38,8 @@ __all__ = [
     "count_common_bytes",
     "count_common_packed",
     "count_common",
+    "require_same_family",
+    "require_compression_floor",
 ]
 
 
@@ -48,17 +50,32 @@ def exact_intersection_size(set_a, set_b) -> int:
     return int(np.intersect1d(a, b, assume_unique=True).size)
 
 
-def _check_compatible(b1: Batmap, b2: Batmap) -> None:
-    if b1.family is not b2.family:
+def require_same_family(f1, f2) -> None:
+    """Raise unless the two hash families are structurally equal.
+
+    Comparison is structural (with an identity fast path inside ``__eq__``),
+    so batmaps whose family went through a pickle round-trip — e.g. built in
+    a worker process for sharded serving — remain comparable.
+    """
+    if f1 != f2:
         raise LayoutError(
             "batmaps were built from different hash families and cannot be compared"
         )
-    shift_floor = 1 << b1.family.shift
-    if min(b1.r, b2.r) < shift_floor:
+
+
+def require_compression_floor(r_min: int, shift: int) -> None:
+    """Raise unless every range is at least the compression floor ``2**shift``."""
+    shift_floor = 1 << shift
+    if r_min < shift_floor:
         raise LayoutError(
-            f"smallest range {min(b1.r, b2.r)} is below the compression floor "
+            f"smallest range {r_min} is below the compression floor "
             f"2**shift = {shift_floor}; payload comparison would be ambiguous"
         )
+
+
+def _check_compatible(b1: Batmap, b2: Batmap) -> None:
+    require_same_family(b1.family, b2.family)
+    require_compression_floor(min(b1.r, b2.r), b1.family.shift)
 
 
 def _order(b1: Batmap, b2: Batmap) -> tuple[Batmap, Batmap]:

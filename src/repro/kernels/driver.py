@@ -62,18 +62,36 @@ def run_batmap_pair_counts(
     tile_size: int = 2048,
     work_group: tuple[int, int] = (16, 16),
     simulator: GpuSimulator | None = None,
+    compute: str = "kernel",
 ) -> DeviceRunResult:
     """Compute every pairwise intersection count of a batmap collection on the simulator.
 
     The returned matrix is indexed by *sorted* batmap order (the device
     scheduling order); callers that need original indices should remap with
     ``collection.order`` — the mining pipeline does this in postprocessing.
+
+    ``compute`` selects how the counts themselves are produced:
+
+    * ``"kernel"`` (default) — simulate every tiled kernel launch work-group
+      by work-group, recording the full traffic/coalescing statistics and the
+      modelled device time;
+    * ``"batch"`` — take the (bit-identical) counts from the host-side
+      vectorised batch engine (:mod:`repro.core.batch`) and skip the
+      per-work-group simulation.  Only the host->device transfer is modelled
+      (``tiles == 0``, no launch records); use this when the counts matter
+      but per-launch statistics do not.
     """
     require_positive(tile_size, "tile_size")
+    if compute not in ("kernel", "batch"):
+        raise ValueError(f"compute must be 'kernel' or 'batch', got {compute!r}")
     n = len(collection)
     sim = simulator or GpuSimulator(device)
     buffer = collection.device_buffer()
     sim.upload("batmaps", buffer.words)
+
+    if compute == "batch":
+        counts = collection.batch_counter().counts_sorted().copy()
+        return DeviceRunResult(counts=counts, simulator=sim, tiles=0)
 
     counts = np.zeros((n, n), dtype=np.int64)
     scheduler = TileScheduler(n, tile_size)

@@ -22,7 +22,6 @@ import numpy as np
 from repro.baselines.merge import intersection_size_numpy
 from repro.core.collection import BatmapCollection
 from repro.core.config import BatmapConfig, DEFAULT_CONFIG
-from repro.core.intersection import count_common
 from repro.gpu.device import DeviceSpec, GTX_285
 from repro.kernels.driver import run_batmap_pair_counts
 from repro.matrix.boolean import SparseBooleanMatrix
@@ -61,6 +60,34 @@ def multiply_merge(a: SparseBooleanMatrix, b: SparseBooleanMatrix) -> np.ndarray
     return out
 
 
+def _repair_cross_product(
+    product: np.ndarray,
+    collection: BatmapCollection,
+    a: SparseBooleanMatrix,
+    b: SparseBooleanMatrix,
+) -> np.ndarray:
+    """Add back the witnesses lost to failed cuckoo insertions (exact repair).
+
+    A failed insertion of inner-dimension element ``k`` into the batmap of a
+    row/column set means every cross pair containing that set undercounts
+    ``k`` by one if the other side holds it too.
+    """
+    failures = collection.failed_insertions()
+    if not failures:
+        return product
+    product = product.copy()
+    b_cols = b.column_sets()
+    for element, owners in failures.items():
+        owners_set = set(owners)
+        for i in range(a.n_rows):
+            if element not in a.rows[i]:
+                continue
+            for j in range(b.n_cols):
+                if element in b_cols[j] and (i in owners_set or (a.n_rows + j) in owners_set):
+                    product[i, j] += 1
+    return product
+
+
 def multiply_batmap(
     a: SparseBooleanMatrix,
     b: SparseBooleanMatrix,
@@ -71,18 +98,19 @@ def multiply_batmap(
     """Witness-count product using host-side batmap comparisons.
 
     All row-sets of ``a`` and column-sets of ``b`` live over the same inner
-    dimension, so one shared hash family serves both sides.
+    dimension, so one shared hash family serves both sides.  The cross block
+    (``a``-rows x ``b``-columns) is computed by the vectorised batch engine
+    in one pass per width-class pair instead of a per-pair Python loop, and
+    failed insertions (rare) are repaired exactly.
     """
     _check_shapes(a, b)
     universe = a.n_cols
     sets = list(a.rows) + b.column_sets()
     collection = BatmapCollection.build(sets, universe, config=config, rng=rng)
-    out = np.zeros((a.n_rows, b.n_cols), dtype=np.int64)
-    for i in range(a.n_rows):
-        bm_i = collection.batmap(i)
-        for j in range(b.n_cols):
-            out[i, j] = count_common(bm_i, collection.batmap(a.n_rows + j))
-    return out
+    product = collection.batch_counter().count_cross(
+        np.arange(a.n_rows), a.n_rows + np.arange(b.n_cols)
+    )
+    return _repair_cross_product(product, collection, a, b)
 
 
 def multiply_batmap_device(
@@ -93,19 +121,23 @@ def multiply_batmap_device(
     rng: RngLike = None,
     device: DeviceSpec = GTX_285,
     tile_size: int = 2048,
+    compute: str = "kernel",
 ) -> tuple[np.ndarray, float]:
     """Witness-count product through the simulated GPU kernel.
 
     Returns ``(product, modelled_device_seconds)``.  The kernel counts *all*
     pairs among the ``a``-rows and ``b``-columns; only the cross block is
     extracted.  (The paper's join-project application has exactly this
-    structure.)
+    structure.)  ``compute="batch"`` takes the counts from the batch engine
+    instead of simulating every launch — see
+    :func:`repro.kernels.driver.run_batmap_pair_counts`.
     """
     _check_shapes(a, b)
     universe = a.n_cols
     sets = list(a.rows) + b.column_sets()
     collection = BatmapCollection.build(sets, universe, config=config, rng=rng)
-    result = run_batmap_pair_counts(collection, device=device, tile_size=tile_size)
+    result = run_batmap_pair_counts(collection, device=device, tile_size=tile_size,
+                                    compute=compute)
     # reorder device (sorted) counts back to original set indices
     n_total = len(sets)
     order = collection.order
@@ -113,18 +145,5 @@ def multiply_batmap_device(
     counts[np.ix_(order, order)] = result.counts
 
     product = counts[:a.n_rows, a.n_rows:]
-    # Failed insertions are possible (if rare); repair them exactly.
-    failures = collection.failed_insertions()
-    if failures:
-        product = product.copy()
-        b_cols = b.column_sets()
-        for element, owners in failures.items():
-            owners_set = set(owners)
-            for i in range(a.n_rows):
-                row_has = element in a.rows[i]
-                if not row_has:
-                    continue
-                for j in range(b.n_cols):
-                    if element in b_cols[j] and (i in owners_set or (a.n_rows + j) in owners_set):
-                        product[i, j] += 1
+    product = _repair_cross_product(product, collection, a, b)
     return product, result.device_seconds

@@ -47,12 +47,19 @@ class BatmapPairMiner:
         smaller values keep individual simulated launches short).
     config:
         Batmap construction parameters.
+    compute:
+        ``"device"`` (default) runs the tiled pair-count kernel on the GPU
+        simulator and reports its modelled timing and traffic statistics;
+        ``"host"`` computes the (bit-identical) counts with the vectorised
+        batch engine (:mod:`repro.core.batch`) on the host — the fast
+        wall-clock serving path, with no device model attached.
     """
 
     device: DeviceSpec = GTX_285
     tile_size: int = 2048
     config: BatmapConfig = DEFAULT_CONFIG
     work_group: tuple[int, int] = (16, 16)
+    compute: str = "device"
 
     def mine(
         self,
@@ -64,6 +71,8 @@ class BatmapPairMiner:
     ) -> MiningReport:
         """Compute the support of every item pair; return results plus phase timings."""
         require(min_support >= 1, f"min_support must be >= 1, got {min_support}")
+        require(self.compute in ("device", "host"),
+                f"compute must be 'device' or 'host', got {self.compute!r}")
         timers = PhaseTimer()
 
         with timers.time("preprocess"):
@@ -75,16 +84,23 @@ class BatmapPairMiner:
                 filter_items=filter_items,
             )
 
-        # Device phase (timed by the simulator's analytic model, not wall clock).
-        result = run_batmap_pair_counts(
-            pre.collection,
-            device=self.device,
-            tile_size=self.tile_size,
-            work_group=self.work_group,
-        )
+        if self.compute == "host":
+            # Host counting phase: the vectorised batch engine, wall-clock timed.
+            with timers.time("count"):
+                counts_sorted = pre.collection.batch_counter().counts_sorted()
+            result = None
+        else:
+            # Device phase (timed by the simulator's analytic model, not wall clock).
+            result = run_batmap_pair_counts(
+                pre.collection,
+                device=self.device,
+                tile_size=self.tile_size,
+                work_group=self.work_group,
+            )
+            counts_sorted = result.counts
 
         with timers.time("postprocess"):
-            counts = reorder_counts(result.counts, pre.collection)
+            counts = reorder_counts(counts_sorted, pre.collection)
             counts = repair_pair_counts(counts, pre.collection, pre.database)
             supports = PairSupports(counts=counts, item_ids=pre.item_map)
 
@@ -92,14 +108,14 @@ class BatmapPairMiner:
         return MiningReport(
             supports=supports,
             timers=timers,
-            device_seconds=result.device_seconds,
-            transfer_seconds=result.transfer_seconds,
-            device_bytes=result.total_device_bytes,
-            achieved_bandwidth_gbps=result.achieved_bandwidth_gbps,
-            coalescing_efficiency=result.coalescing_efficiency,
+            device_seconds=result.device_seconds if result else 0.0,
+            transfer_seconds=result.transfer_seconds if result else 0.0,
+            device_bytes=result.total_device_bytes if result else 0,
+            achieved_bandwidth_gbps=result.achieved_bandwidth_gbps if result else 0.0,
+            coalescing_efficiency=result.coalescing_efficiency if result else 1.0,
             batmap_bytes=pre.batmap_bytes,
             failed_insertions=n_failed,
-            tiles=result.tiles,
+            tiles=result.tiles if result else 0,
         )
 
     def mine_pairs(

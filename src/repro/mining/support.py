@@ -90,8 +90,13 @@ class MiningReport:
 
     @property
     def counting_seconds(self) -> float:
-        """Pure pair-generation time: the device phase (Figure 6's quantity)."""
-        return self.device_seconds
+        """Pure pair-generation time (Figure 6's quantity).
+
+        The modelled device phase for ``compute="device"`` runs; the
+        wall-clock batch-engine phase for ``compute="host"`` runs (which
+        record no device time).
+        """
+        return self.device_seconds if self.device_seconds > 0 else self.timers.get("count")
 
     @property
     def postprocess_seconds(self) -> float:

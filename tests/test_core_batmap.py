@@ -160,6 +160,29 @@ class TestFailureHandling:
         assert decoded.isdisjoint(set(bm.failed))
         assert bm.stored_count == bm.set_size - len(bm.failed)
 
+    def test_contains_consults_failed_list(self):
+        """Regression: failed elements count towards len(bm) and must be members.
+
+        An element whose cuckoo insertion failed has no stored copies, but it
+        is still part of the represented set (the repair path re-adds its
+        contributions), so ``contains`` must report it present.
+        """
+        m = 2048
+        cfg = BatmapConfig(max_loop=8)
+        family = make_family(m, seed=3, cfg=cfg)
+        elements = np.arange(300)
+        placement = place_set(elements, family, 128, cfg)
+        assert placement.failed
+        bm = Batmap.from_placement(placement, family, cfg, set_size=elements.size)
+        assert len(bm) == elements.size
+        for failed in bm.failed:
+            assert bm.contains(int(failed))
+        # every element of the set — stored or failed — is a member
+        assert all(bm.contains(int(e)) for e in elements)
+        # out-of-universe probes still miss
+        assert not bm.contains(-1)
+        assert not bm.contains(m)
+
     @given(st.integers(0, 2**31))
     @settings(max_examples=20, deadline=None)
     def test_property_decode_matches_input_minus_failed(self, seed):

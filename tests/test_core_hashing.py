@@ -156,3 +156,46 @@ class TestHashFamily:
         perms = make_permutations(small_universe // 2, 3, rng=0)
         with pytest.raises(ValueError):
             HashFamily(universe_size=small_universe, permutations=perms, shift=0)
+
+
+class TestStructuralEquality:
+    """Regression: families must survive a pickle round-trip (worker processes)."""
+
+    @pytest.mark.parametrize("force", ["array", "feistel"])
+    def test_pickle_round_trip_equal(self, force):
+        import pickle
+        family = HashFamily.create(512, shift=2, rng=4, force_permutation=force)
+        clone = pickle.loads(pickle.dumps(family))
+        assert clone is not family
+        assert clone == family
+        assert not (clone != family)
+        assert hash(clone) == hash(family)
+
+    def test_different_seeds_not_equal(self):
+        a = HashFamily.create(256, shift=1, rng=0)
+        b = HashFamily.create(256, shift=1, rng=1)
+        assert a != b
+
+    def test_different_shift_not_equal(self):
+        a = HashFamily.create(256, shift=1, rng=0)
+        perms = a.permutations
+        b = HashFamily(universe_size=256, permutations=perms, shift=2)
+        assert a != b
+
+    def test_array_permutation_structural_equality(self):
+        a = ArrayPermutation.random(128, rng=7)
+        b = ArrayPermutation(table=a.table.copy(), inverse=a.inverse.copy())
+        assert a == b
+        assert hash(a) == hash(b)
+        c = ArrayPermutation.random(128, rng=8)
+        assert a != c
+
+    def test_cross_kind_never_equal(self):
+        a = ArrayPermutation.random(64, rng=0)
+        f = FeistelPermutation.random(64, rng=0)
+        assert a != f and f != a
+
+    def test_not_equal_to_other_types(self):
+        family = HashFamily.create(64, shift=0, rng=0)
+        assert family != "family"
+        assert ArrayPermutation.random(8, rng=0) != 42

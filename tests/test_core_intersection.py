@@ -136,3 +136,35 @@ class TestCountCommon:
             expected = exact_intersection_size(set_a, set_b)
         assert count_common(a, b) == expected
         assert count_common_bytes(a, b) == expected
+
+
+class TestCrossProcessFamilies:
+    """Regression: batmaps whose family was pickled (e.g. built in a worker
+    process) must remain comparable — equality is structural, not identity."""
+
+    def test_count_common_across_pickled_family(self):
+        import pickle
+        m = 1024
+        family = make_family(m, seed=2)
+        worker_family = pickle.loads(pickle.dumps(family))
+        assert worker_family is not family
+        a = build_batmap(np.arange(0, 200, 2), m, family=family)
+        b = build_batmap(np.arange(0, 200, 3), m, family=worker_family)
+        expected = exact_intersection_size(np.arange(0, 200, 2), np.arange(0, 200, 3))
+        assert count_common(a, b) == expected
+        assert count_common_bytes(a, b) == expected
+
+    def test_pickled_batmap_comparable_to_original(self):
+        import pickle
+        m = 512
+        family = make_family(m, seed=6)
+        a = build_batmap(np.arange(64), m, family=family)
+        b = pickle.loads(pickle.dumps(build_batmap(np.arange(32, 96), m, family=family)))
+        assert count_common(a, b) == 32
+
+    def test_truly_different_families_still_rejected(self):
+        m = 512
+        a = build_batmap(np.arange(10), m, family=make_family(m, seed=0))
+        b = build_batmap(np.arange(10), m, family=make_family(m, seed=1))
+        with pytest.raises(LayoutError):
+            count_common(a, b)

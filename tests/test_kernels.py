@@ -167,3 +167,30 @@ class TestBitmapDriver:
         # the resident representation is smaller as well.
         assert batmap_run.total_device_bytes < bitmap_run.total_device_bytes / 2
         assert coll.memory_bytes < index.memory_bytes / 2
+
+
+class TestBatchComputeMode:
+    def test_batch_counts_match_kernel_counts(self, rng):
+        m = 700
+        sets = random_sets(rng, 14, m, max_size=120)
+        coll = BatmapCollection.build(sets, m, rng=6)
+        kernel = run_batmap_pair_counts(coll, tile_size=8)
+        batch = run_batmap_pair_counts(coll, compute="batch")
+        assert np.array_equal(kernel.counts, batch.counts)
+        assert batch.tiles == 0
+        assert batch.device_seconds == 0.0       # no launches simulated
+        assert batch.transfer_seconds > 0        # the upload is still modelled
+
+    def test_batch_counts_are_a_private_copy(self, rng):
+        m = 300
+        coll = BatmapCollection.build(random_sets(rng, 5, m, max_size=60), m, rng=0)
+        first = run_batmap_pair_counts(coll, compute="batch")
+        first.counts[0, 0] = -1
+        second = run_batmap_pair_counts(coll, compute="batch")
+        assert second.counts[0, 0] != -1
+
+    def test_invalid_compute_rejected(self, rng):
+        m = 200
+        coll = BatmapCollection.build(random_sets(rng, 3, m, max_size=30), m, rng=0)
+        with pytest.raises(ValueError):
+            run_batmap_pair_counts(coll, compute="quantum")

@@ -209,3 +209,21 @@ class TestItemsetMiner:
         pairs = result.of_size(2)
         assert all(len(k) == 2 for k in pairs)
         assert result.pair_phase_seconds > 0
+
+
+class TestHostComputeMode:
+    def test_host_matches_device_counts(self):
+        db = generate_fixed_transactions(20, 0.3, 120, rng=8)
+        device = BatmapPairMiner(tile_size=8).mine(db, min_support=1, rng=0)
+        host = BatmapPairMiner(compute="host").mine(db, min_support=1, rng=0)
+        assert np.array_equal(device.supports.counts, host.supports.counts)
+        # the host path has no device model attached but does time counting
+        assert host.device_seconds == 0.0
+        assert host.tiles == 0
+        assert host.counting_seconds > 0
+        assert host.total_seconds >= host.counting_seconds
+
+    def test_invalid_compute_rejected(self):
+        db = generate_fixed_transactions(10, 0.3, 40, rng=8)
+        with pytest.raises(ValueError):
+            BatmapPairMiner(compute="cloud").mine(db, min_support=1, rng=0)

@@ -10,7 +10,12 @@ from repro.parallel.cpu import (
     measure_single_core_throughput,
     model_multicore_throughput,
 )
-from repro.parallel.scaling import measure_split_scaling, relative_speedups
+from repro.parallel.scaling import (
+    ScalingPoint,
+    measure_split_scaling,
+    merge_part_counts,
+    relative_speedups,
+)
 
 
 class TestCpuThroughput:
@@ -54,9 +59,11 @@ class TestSplitScaling:
     def test_points_and_speedups(self):
         db = self._db()
         miner = AprioriMiner(max_size=2)
+        # repeats > 1: best-of timing keeps this tiny instance (part times in
+        # the hundreds of microseconds) from flaking on scheduler noise
         points = measure_split_scaling(
             lambda t, n, s: miner.mine_pairs(t, n, s), db, min_support=2,
-            core_counts=(1, 2, 4))
+            core_counts=(1, 2, 4), repeats=3)
         assert [p.cores for p in points] == [1, 2, 4]
         assert all(p.seconds > 0 for p in points)
         assert all(len(p.part_seconds) == p.cores for p in points)
@@ -74,3 +81,72 @@ class TestSplitScaling:
             measure_split_scaling(lambda t, n, s: None, db, 1, core_counts=())
         with pytest.raises(ValueError):
             relative_speedups([])
+
+
+class TestSerialMergePhase:
+    """Regression for the Figure 9 methodology: the serial merge of per-part
+    counts is part of the simulated makespan, so splitting can no longer
+    produce super-linear "speed-ups"."""
+
+    def _db(self):
+        return generate_fixed_transactions(20, 0.25, 240, rng=0)
+
+    def test_seconds_include_measured_merge(self):
+        db = self._db()
+        miner = AprioriMiner(max_size=2)
+        points = measure_split_scaling(
+            lambda t, n, s: miner.mine_pairs(t, n, s), db, min_support=2,
+            core_counts=(1, 2, 4))
+        for p in points:
+            assert p.merge_seconds > 0          # dict merge was actually timed
+            assert p.seconds == max(p.part_seconds) + p.merge_seconds
+            assert p.parallel_seconds == max(p.part_seconds)
+
+    def test_merge_part_counts_dicts(self):
+        merged = merge_part_counts([{(0, 1): 2, (1, 2): 1}, {(0, 1): 3}])
+        assert merged == {(0, 1): 5, (1, 2): 1}
+
+    def test_merge_part_counts_itemset_results(self):
+        db = self._db()
+        parts = db.split(2)
+        results = [AprioriMiner(max_size=2).mine(p.transactions, p.n_items, 1)
+                   for p in parts]
+        merged = merge_part_counts(results)
+        whole = AprioriMiner(max_size=2).mine(db.transactions, db.n_items, 1)
+        # per-part supports sum to the whole-instance supports (min_support=1)
+        for itemset, support in whole.itemsets.items():
+            assert merged[itemset] == support
+
+    def test_merge_part_counts_rejects_opaque_results(self):
+        """A result shape the merge cannot fold must fail loudly — silently
+        merging nothing would zero the serial term and bring back the
+        super-linear artifact."""
+        with pytest.raises(TypeError):
+            merge_part_counts([object()])
+        with pytest.raises(TypeError):
+            merge_part_counts([{(0, 1): 2}, None])
+
+    def test_custom_merge_callable(self):
+        db = self._db()
+        seen = []
+
+        def merge(results):
+            seen.append(len(results))
+            return None
+
+        measure_split_scaling(lambda t, n, s: {}, db, min_support=1,
+                              core_counts=(1, 3), merge=merge)
+        assert seen == [1, 3]
+
+    def test_speedup_capped_by_merge_term(self):
+        """Even with impossibly super-linear part shrinkage the merge term
+        keeps the simulated speed-up below the core count."""
+        points = [
+            ScalingPoint(cores=1, seconds=8.0 + 0.1, part_seconds=(8.0,),
+                         merge_seconds=0.1),
+            # parts 10x faster than linear would allow, but the merge grew:
+            ScalingPoint(cores=8, seconds=0.1 + 1.0, part_seconds=(0.1,) * 8,
+                         merge_seconds=1.0),
+        ]
+        speedups = relative_speedups(points)
+        assert speedups[8] < 8.0
