@@ -20,8 +20,6 @@ import os
 import time
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.baselines.apriori import AprioriMiner
 from repro.baselines.eclat import EclatMiner
 from repro.baselines.fpgrowth import FPGrowthMiner

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.harness import BENCH_TOTAL_ITEMS, SeriesTable, make_instance, run_batmap_miner
+from benchmarks.harness import BENCH_TOTAL_ITEMS, SeriesTable, make_instance
 from repro.analysis.space import MiningMemoryModel
 from repro.baselines.apriori import AprioriMiner
 from repro.baselines.fpgrowth import FPGrowthMiner

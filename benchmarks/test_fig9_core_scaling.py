@@ -10,15 +10,27 @@ Scaled harness: 200 items, same splitting methodology, with the simulated
 makespan modelled as max(part times) + the measured serial merge of the
 per-part count dicts (see EXPERIMENTS.md E5) — the serial reduction is what
 caps the speed-up below linear.
+
+**Measured mode** (:class:`TestFigure9Measured`): in addition to the paper's
+split-simulation, the multiprocess executor
+(:mod:`repro.parallel.executor`) runs the batmap pair-counting workload for
+real — shared-memory buffer, worker pool, tile fan-out, serial merge — and
+the recorded speed-up curve is a wall-clock measurement, not a model.  See
+EXPERIMENTS.md E12.
 """
 
 from __future__ import annotations
 
+import os
+
+import numpy as np
 import pytest
 
 from benchmarks.harness import SeriesTable, make_instance
 from repro.baselines.apriori import AprioriMiner
 from repro.baselines.fpgrowth import FPGrowthMiner
+from repro.core.collection import BatmapCollection
+from repro.parallel.executor import measure_executor_scaling
 from repro.parallel.scaling import measure_split_scaling, relative_speedups
 
 pytestmark = pytest.mark.bench
@@ -27,6 +39,12 @@ pytestmark = pytest.mark.bench
 CORE_COUNTS = (1, 2, 4, 8)
 N_ITEMS = 200
 DENSITY = 0.05
+
+#: Worker counts of the measured (non-simulated) executor runs.
+MEASURED_WORKERS = (1, 2, 4)
+#: Sets in the measured pair-counting instance; sized so the counting work
+#: dominates pool startup (override for a closer / faster run).
+MEASURED_N_SETS = int(os.environ.get("REPRO_BENCH_MEASURED_SETS", 1200))
 
 
 def core_scaling_series() -> SeriesTable:
@@ -85,3 +103,62 @@ class TestFigure9:
 
         results = benchmark(run_all_parts)
         assert len(results) == 4
+
+
+# --------------------------------------------------------------------------- #
+# Measured mode: the executor runs the workload for real
+# --------------------------------------------------------------------------- #
+def _measured_collection(seed: int = 13) -> BatmapCollection:
+    """A pair-counting instance large enough that the pool pays off."""
+    rng = np.random.default_rng(seed)
+    universe = 8192
+    sets = [np.sort(rng.choice(universe, size=int(rng.integers(16, 260)),
+                               replace=False))
+            for _ in range(MEASURED_N_SETS)]
+    return BatmapCollection.build(sets, universe, rng=seed)
+
+
+def measured_core_scaling_series() -> tuple:
+    """Real multiprocess speed-up of all-pairs counting (not a simulation).
+
+    Every point is an end-to-end wall-clock run of
+    :class:`~repro.parallel.executor.ParallelPairCounter`: shared-segment
+    creation, pool startup, tile fan-out and the serial per-tile merge are
+    all inside the measured window.
+    """
+    collection = _measured_collection()
+    points = measure_executor_scaling(collection, worker_counts=MEASURED_WORKERS,
+                                      repeats=2)
+    speedups = relative_speedups(points)
+    table = SeriesTable(
+        title="Figure 9 (measured) — real multiprocess pair-counting speed-up",
+        x_label="#workers",
+    )
+    table.x_values = list(MEASURED_WORKERS)
+    table.add("theoretical", list(MEASURED_WORKERS))
+    table.add("seconds", [round(p.seconds, 3) for p in points])
+    table.add("speedup", [round(speedups[w], 2) for w in MEASURED_WORKERS])
+    table.note(f"measured end-to-end on {os.cpu_count()} host cores "
+               f"({MEASURED_N_SETS} sets, shared-memory executor; "
+               "EXPERIMENTS.md E12)")
+    return table, speedups
+
+
+class TestFigure9Measured:
+    def test_report(self):
+        table, speedups = measured_core_scaling_series()
+        table.show()
+        assert speedups[1] == pytest.approx(1.0)
+        assert all(s > 0 for s in speedups.values())
+        cores = os.cpu_count() or 1
+        if cores >= 4:
+            # On real multi-core hardware 4 workers must at least halve the
+            # 1-worker wall clock (the PR 2 acceptance bar).  On fewer cores
+            # no real speed-up is physically available, so only sanity holds.
+            # Downsized runs (CI smoke) use a softer bar: with a smaller
+            # instance the fixed pool/merge overhead claims a larger share.
+            assert speedups[4] >= (2.0 if MEASURED_N_SETS >= 1200 else 1.5)
+        if cores < 2:
+            # Single-core host: parallelism cannot win, but the executor must
+            # not collapse either (startup + merge overhead stays bounded).
+            assert speedups[max(MEASURED_WORKERS)] >= 0.3

@@ -1,4 +1,4 @@
-"""Setup shim so `pip install -e .` / `python setup.py develop` work alongside pyproject.toml."""
+"""Setup shim for legacy tooling; all metadata lives in pyproject.toml."""
 from setuptools import setup
 
 setup()

@@ -135,14 +135,16 @@ class AprioriMiner:
             k += 1
         return result
 
-    def mine_pairs(self, transactions, n_items: int, min_support: int) -> dict[tuple[int, int], int]:
+    def mine_pairs(self, transactions, n_items: int,
+                   min_support: int) -> dict[tuple[int, int], int]:
         """Frequent pair mining only (Figure 6/7's workload for Apriori)."""
         miner = AprioriMiner(max_size=2)
         return miner.mine(transactions, n_items, min_support).pairs()
 
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _generate_candidates(frequent_prev: list[tuple[int, ...]], k: int) -> list[tuple[int, ...]]:
+    def _generate_candidates(frequent_prev: list[tuple[int, ...]],
+                             k: int) -> list[tuple[int, ...]]:
         """Join (k-1)-itemsets sharing a (k-2)-prefix, prune by subset frequency."""
         prev_set = set(frequent_prev)
         candidates: list[tuple[int, ...]] = []

@@ -90,7 +90,8 @@ class PairCounter:
         return int(self.counts.nbytes)
 
 
-def count_pairs_horizontal(transactions, n_items: int, min_support: int = 1) -> list[tuple[int, int, int]]:
+def count_pairs_horizontal(transactions, n_items: int,
+                           min_support: int = 1) -> list[tuple[int, int, int]]:
     """Count all item pairs in a horizontal transaction list and filter by support."""
     counter = PairCounter(n_items)
     for t in transactions:

@@ -49,7 +49,8 @@ class EclatMiner:
         self._dfs([(item, tids) for item, tids in frequent_items], [], min_support, out)
         return out
 
-    def mine_pairs(self, transactions, n_items: int, min_support: int) -> dict[tuple[int, int], int]:
+    def mine_pairs(self, transactions, n_items: int,
+                   min_support: int) -> dict[tuple[int, int], int]:
         miner = EclatMiner(max_size=2)
         result = miner.mine(transactions, n_items, min_support)
         self.intersections_performed = miner.intersections_performed

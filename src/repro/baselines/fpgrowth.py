@@ -157,7 +157,8 @@ class FPGrowthMiner:
         self._grow(tree, [], min_support, out)
         return out
 
-    def mine_pairs(self, transactions, n_items: int, min_support: int) -> dict[tuple[int, int], int]:
+    def mine_pairs(self, transactions, n_items: int,
+                   min_support: int) -> dict[tuple[int, int], int]:
         """Frequent pair mining only."""
         miner = FPGrowthMiner(max_size=2)
         result = miner.mine(transactions, n_items, min_support)

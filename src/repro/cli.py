@@ -1,18 +1,21 @@
 """Command-line interface for the library.
 
-Three subcommands cover the workflows a downstream user actually runs:
+Installed as the ``repro`` console script (``pip install -e .``); three
+subcommands cover the workflows a downstream user actually runs:
 
-``repro-mine``
+``repro mine``
     Mine frequent pairs from a FIMI-format transaction file (or from a
     generated synthetic instance) with a chosen engine, print the top pairs
-    and the phase/throughput summary.
+    and the phase/throughput summary.  ``--compute parallel --workers N``
+    counts across a process pool over a shared-memory buffer (small inputs
+    fall back to the serial batch engine).
 
-``repro-generate``
+``repro generate``
     Generate a synthetic dataset (the paper's Bernoulli generator, the Quest
     market-basket generator or the WebDocs surrogate) and write it in FIMI
     format.
 
-``repro-intersect``
+``repro intersect``
     Compute the intersection size of two sets given as whitespace-separated
     integer files, via batmaps and via sorted-list merge, printing both
     results and the batmap statistics.
@@ -34,13 +37,14 @@ from repro.baselines.eclat import EclatMiner
 from repro.baselines.fpgrowth import FPGrowthMiner
 from repro.baselines.merge import intersection_size_numpy
 from repro.core.batmap import build_batmap
+from repro.core.collection import BatmapCollection
 from repro.core.config import BatmapConfig
 from repro.core.hashing import HashFamily
 from repro.core.intersection import count_common
+from repro.parallel.executor import recommended_backend
 from repro.datasets.fimi_io import read_fimi, write_fimi
 from repro.datasets.ibm_quest import QuestParameters, generate_quest_dataset
 from repro.datasets.synthetic import generate_density_instance
-from repro.datasets.transactions import TransactionDatabase
 from repro.datasets.webdocs import generate_webdocs_like
 from repro.mining.pair_mining import BatmapPairMiner
 
@@ -65,6 +69,14 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--top", type=int, default=10, help="number of pairs to print")
     mine.add_argument("--max-transactions", type=int, default=None)
     mine.add_argument("--seed", type=int, default=0)
+    mine.add_argument("--compute", choices=["device", "host", "parallel"],
+                      default="device",
+                      help="batmap counting backend: simulated device kernel, "
+                           "serial host batch engine, or multiprocess executor "
+                           "(small inputs fall back to the batch engine)")
+    mine.add_argument("--workers", type=int, default=None,
+                      help="worker processes for --compute parallel "
+                           "(default: auto from the core count)")
 
     gen = sub.add_parser("generate", help="generate a synthetic dataset in FIMI format")
     gen.add_argument("output", type=Path)
@@ -81,6 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
     inter.add_argument("--universe", type=int, default=None,
                        help="universe size (default: max id + 1)")
     inter.add_argument("--seed", type=int, default=0)
+    inter.add_argument("--compute", choices=["host", "parallel"], default="host",
+                       help="count on the host directly or through the "
+                            "multiprocess executor path (two sets always fall "
+                            "back to the batch engine)")
+    inter.add_argument("--workers", type=int, default=None,
+                       help="worker processes for --compute parallel")
     return parser
 
 
@@ -94,12 +112,18 @@ def _cmd_mine(args: argparse.Namespace, out) -> int:
 
     start = time.perf_counter()
     if args.engine == "batmap":
-        report = BatmapPairMiner().mine(db, min_support=args.min_support, rng=args.seed)
+        miner = BatmapPairMiner(compute=args.compute, workers=args.workers)
+        report = miner.mine(db, min_support=args.min_support, rng=args.seed)
         pairs = report.supports.frequent_pairs(args.min_support)
+        timing = "modelled" if report.count_backend == "kernel" else "wall clock"
         print(f"phases: preprocess {report.preprocess_seconds:.3f}s, "
-              f"device {report.counting_seconds:.5f}s (modelled), "
+              f"count {report.counting_seconds:.5f}s ({timing}), "
               f"postprocess {report.postprocess_seconds:.3f}s, "
               f"failed insertions {report.failed_insertions}", file=out)
+        backend = f"count backend: {report.count_backend}"
+        if args.compute == "parallel" and report.count_backend == "batch":
+            backend += " (parallel fell back: input below the pool pay-off floor)"
+        print(backend, file=out)
     elif args.engine == "apriori":
         pairs = AprioriMiner().mine_pairs(db.transactions, db.n_items, args.min_support)
     elif args.engine == "fpgrowth":
@@ -148,9 +172,23 @@ def _cmd_intersect(args: argparse.Namespace, out) -> int:
     config = BatmapConfig()
     family = HashFamily.create(universe, shift=config.shift_for_universe(universe),
                                rng=args.seed)
-    bm_a = build_batmap(set_a, universe, family=family, config=config)
-    bm_b = build_batmap(set_b, universe, family=family, config=config)
-    batmap_count = count_common(bm_a, bm_b)
+    if args.compute == "parallel":
+        # One build: the printed stats must describe the same batmaps that
+        # produced the count (the collection path clamps r >= 4).
+        collection = BatmapCollection.build([set_a, set_b], universe,
+                                            config=config, family=family,
+                                            sort_by_size=False)
+        bm_a, bm_b = collection.batmap(0), collection.batmap(1)
+        backend = recommended_backend(collection, workers=args.workers)
+        counts = collection.count_all_pairs(parallel=True, workers=args.workers)
+        batmap_count = int(counts[0, 1])
+        note = (" (parallel fell back: input below the pool pay-off floor)"
+                if backend == "batch" else "")
+        print(f"count backend: {backend}{note}", file=out)
+    else:
+        bm_a = build_batmap(set_a, universe, family=family, config=config)
+        bm_b = build_batmap(set_b, universe, family=family, config=config)
+        batmap_count = count_common(bm_a, bm_b)
     merge_count = intersection_size_numpy(set_a, set_b)
     print(f"|A| = {set_a.size}, |B| = {set_b.size}, universe = {universe}", file=out)
     print(f"intersection size (batmap): {batmap_count}", file=out)

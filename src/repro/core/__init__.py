@@ -12,7 +12,7 @@ Public entry points:
   pairs-list / top-k counting over a whole collection (the host hot path).
 """
 
-from repro.core.batch import BatchPairCounter, WidthClass
+from repro.core.batch import BatchPairCounter, WidthClass, WidthClassIndex
 from repro.core.batmap import Batmap, build_batmap
 from repro.core.builder import EMPTY, Placement, PlacementStats, place_set
 from repro.core.collection import BatmapCollection, DeviceBuffer
@@ -51,6 +51,7 @@ __all__ = [
     "Batmap",
     "BatchPairCounter",
     "WidthClass",
+    "WidthClassIndex",
     "build_batmap",
     "EMPTY",
     "Placement",

@@ -27,9 +27,22 @@ position ``p mod width_small`` of a narrow one matches exactly the per-row
 ``mod r_small`` folding of :func:`repro.core.intersection.count_common` —
 the engine's counts are bit-identical to the per-pair reference.
 
+The module is split into two layers:
+
+* :class:`WidthClassIndex` — the pure *layout-level* engine.  It knows only
+  the flat ``uint32`` word buffer plus per-slot offsets and widths; every
+  query is expressed in width-sorted **slot** indices.  Because it needs no
+  :class:`Batmap` objects, hash family or original-index mapping, the
+  multiprocess executor (:mod:`repro.parallel.executor`) can rebuild one
+  inside each worker over a shared-memory view of the same buffer.
+* :class:`BatchPairCounter` — the collection-level wrapper: validates
+  compatibility once, owns the original-index <-> slot mapping and the
+  cached all-pairs matrix.
+
 The engine is the shared hot path for :meth:`BatmapCollection.count_all_pairs`,
-the boolean-matrix workloads (:mod:`repro.matrix.multiply`) and the mining
-pipeline's host compute mode (:mod:`repro.mining.pair_mining`).
+the boolean-matrix workloads (:mod:`repro.matrix.multiply`), the mining
+pipeline's host compute mode (:mod:`repro.mining.pair_mining`) and the
+per-tile work of the multiprocess executor.
 """
 
 from __future__ import annotations
@@ -42,11 +55,15 @@ from repro.core.errors import LayoutError
 from repro.core.intersection import require_compression_floor, require_same_family
 from repro.utils.validation import require, require_positive
 
-__all__ = ["WidthClass", "BatchPairCounter", "DEFAULT_BLOCK_WORDS"]
+__all__ = ["WidthClass", "WidthClassIndex", "BatchPairCounter", "DEFAULT_BLOCK_WORDS"]
 
 #: Upper bound on the number of packed words materialised by one broadcasted
-#: comparison (the engine chunks the outer operand to stay below it).
-DEFAULT_BLOCK_WORDS = 1 << 23
+#: comparison (the engine chunks the outer operand to stay below it).  Sized
+#: for cache residency, not allocator limits: 2**17 words keep each SWAR
+#: temporary around 1 MB, which on the E12 instance counts ~10x faster than
+#: the 2**23 budget this started with (25 MB temporaries thrash the LLC, and
+#: pathologically so when several executor workers compete for it).
+DEFAULT_BLOCK_WORDS = 1 << 17
 
 # SWAR constants for both lane widths.  The engine processes two packed
 # 32-bit device words per operation (uint64 lanes) whenever the row width is
@@ -133,62 +150,89 @@ class WidthClass:
         return int(self.sorted_indices.size)
 
 
-class BatchPairCounter:
-    """All-pairs / pairs-list / top-k intersection counts for one collection.
+class WidthClassIndex:
+    """Width-class pair-counting engine over a flat packed word buffer.
 
-    The engine validates compatibility once, gathers the packed words once,
-    and answers every subsequent query with broadcasted NumPy SWAR — no
-    per-pair Python call.  Build it through
-    :meth:`repro.core.collection.BatmapCollection.batch_counter`, which caches
-    one instance per collection.
+    The layout-level half of the batch engine: it is built from the three
+    arrays of a :class:`~repro.core.collection.DeviceBuffer` (``words``,
+    ``offsets``, ``widths``) and answers counting queries in width-sorted
+    *slot* indices.  It never touches :class:`Batmap` objects, so it can be
+    reconstructed inside a worker process over a zero-copy
+    ``multiprocessing.shared_memory`` view of the very same words array —
+    which is how :mod:`repro.parallel.executor` distributes tiles.
+
+    Dense per-class matrices are materialised lazily: whole-class queries
+    (:meth:`all_pairs`) gather and cache them, while tile-shaped queries
+    (:meth:`cross_slots`, :meth:`pairwise_slots`) gather only the rows they
+    need — a worker that processes a few tiles never copies the full buffer.
     """
 
-    def __init__(self, collection, *, block_words: int = DEFAULT_BLOCK_WORDS) -> None:
+    def __init__(
+        self,
+        words: np.ndarray,
+        offsets: np.ndarray,
+        widths: np.ndarray,
+        *,
+        block_words: int = DEFAULT_BLOCK_WORDS,
+    ) -> None:
         require_positive(block_words, "block_words")
-        self.collection = collection
+        self.words = words
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        self.widths = np.asarray(widths, dtype=np.int64)
         self.block_words = int(block_words)
-        self._validate(collection)
+        self.n_slots = int(self.offsets.size)
+        require(self.n_slots > 0, "cannot index an empty device buffer")
+        require(self.widths.size == self.n_slots,
+                "offsets and widths must have the same length")
 
-        buffer = collection.device_buffer()
-        self._widths = np.asarray(buffer.widths, dtype=np.int64)
-        self._counts_sorted: np.ndarray | None = None
-
-        n = len(collection)
-        self.classes: list[WidthClass] = []
+        self.class_widths = np.unique(self.widths)      # ascending
         #: per sorted slot: index of its width class / its row inside the class
-        self._class_of = np.empty(n, dtype=np.int64)
-        self._row_of = np.empty(n, dtype=np.int64)
-        for class_index, width in enumerate(np.unique(self._widths).tolist()):
-            members = np.nonzero(self._widths == width)[0]
-            gather = buffer.offsets[members][:, None] + np.arange(int(width))[None, :]
-            self.classes.append(WidthClass(
-                width=int(width),
-                sorted_indices=members,
-                words=buffer.words[gather],
-            ))
-            self._class_of[members] = class_index
-            self._row_of[members] = np.arange(members.size)
-        for small, large in zip(self.classes, self.classes[1:]):
-            require(large.width % small.width == 0,
-                    f"width {large.width} is not a multiple of width {small.width}; "
+        self.class_of = np.empty(self.n_slots, dtype=np.int64)
+        self.row_of = np.empty(self.n_slots, dtype=np.int64)
+        self.members: list[np.ndarray] = []
+        for class_index, width in enumerate(self.class_widths.tolist()):
+            slots = np.nonzero(self.widths == width)[0]
+            self.members.append(slots)
+            self.class_of[slots] = class_index
+            self.row_of[slots] = np.arange(slots.size)
+        for small, large in zip(self.class_widths[:-1], self.class_widths[1:]):
+            require(int(large) % int(small) == 0,
+                    f"width {int(large)} is not a multiple of width {int(small)}; "
                     "ranges must be nested powers of two")
+        self._class_words: list = [None] * len(self.members)
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.members)
 
     # ------------------------------------------------------------------ #
-    # Validation (once per engine, replacing the per-pair _check_compatible)
+    # Gathering
     # ------------------------------------------------------------------ #
-    @staticmethod
-    def _validate(collection) -> None:
-        batmaps = collection.batmaps_sorted
-        require(len(batmaps) > 0, "cannot build a batch counter for an empty collection")
-        family = batmaps[0].family
-        for bm in batmaps[1:]:
-            require_same_family(family, bm.family)
-        r0 = collection.r0
-        require_compression_floor(r0, family.shift)
-        if r0 < 4:
-            raise LayoutError(
-                f"batch counting requires word-aligned ranges (r0 >= 4), got r0 = {r0}"
-            )
+    def class_words(self, class_index: int) -> np.ndarray:
+        """Dense ``(n_members, width)`` matrix of one width class (cached)."""
+        if self._class_words[class_index] is None:
+            self._class_words[class_index] = self._gather(self.members[class_index])
+        return self._class_words[class_index]
+
+    def width_class(self, class_index: int) -> WidthClass:
+        return WidthClass(
+            width=int(self.class_widths[class_index]),
+            sorted_indices=self.members[class_index],
+            words=self.class_words(class_index),
+        )
+
+    def _gather(self, slots: np.ndarray) -> np.ndarray:
+        """Word matrix for slots that all share one width (direct buffer gather)."""
+        width = int(self.widths[slots[0]]) if slots.size else 0
+        gather = self.offsets[slots][:, None] + np.arange(width)[None, :]
+        return self.words[gather]
+
+    def _rows(self, slots: np.ndarray, class_index: int) -> np.ndarray:
+        """Rows for same-class slots; reuses the class cache when it exists."""
+        cached = self._class_words[class_index]
+        if cached is not None:
+            return cached[self.row_of[slots]]
+        return self._gather(slots)
 
     # ------------------------------------------------------------------ #
     # Low-level blocked SWAR comparisons
@@ -229,33 +273,132 @@ class BatchPairCounter:
             total += self._equal_width_counts(large[:, sl], small)
         return total
 
-    def _class_cross_counts(self, ci: WidthClass, cj: WidthClass) -> np.ndarray:
-        """Counts for every (member of ``ci``) x (member of ``cj``) pair."""
-        if ci.width >= cj.width:
-            return self._folded_counts(ci.words, cj.words)
-        return self._folded_counts(cj.words, ci.words).T
-
     # ------------------------------------------------------------------ #
-    # Queries
+    # Slot-level queries
     # ------------------------------------------------------------------ #
-    def counts_sorted(self) -> np.ndarray:
-        """Dense ``n x n`` count matrix in width-sorted (device) order, cached.
+    def all_pairs(self) -> np.ndarray:
+        """Dense ``n x n`` count matrix in width-sorted (slot) order.
 
         The diagonal needs no special-casing: comparing a batmap with itself
         matches exactly the slots whose indicator bit is set, one per stored
         element, i.e. :attr:`Batmap.stored_count`.
         """
+        n = self.n_slots
+        out = np.zeros((n, n), dtype=np.int64)
+        for i in range(self.n_classes):
+            words_i = self.class_words(i)
+            slots_i = self.members[i]
+            out[np.ix_(slots_i, slots_i)] = self._equal_width_counts(words_i, words_i)
+            for j in range(i + 1, self.n_classes):
+                cross = self._folded_counts(self.class_words(j), words_i)  # (n_j, n_i)
+                slots_j = self.members[j]
+                out[np.ix_(slots_j, slots_i)] = cross
+                out[np.ix_(slots_i, slots_j)] = cross.T
+        return out
+
+    def cross_slots(self, row_slots, col_slots) -> np.ndarray:
+        """Rectangular count matrix between two lists of width-sorted slots."""
+        row_slots = np.asarray(row_slots, dtype=np.int64).ravel()
+        col_slots = np.asarray(col_slots, dtype=np.int64).ravel()
+        out = np.zeros((row_slots.size, col_slots.size), dtype=np.int64)
+        if row_slots.size == 0 or col_slots.size == 0:
+            return out
+        for ci_idx in np.unique(self.class_of[row_slots]).tolist():
+            row_mask = self.class_of[row_slots] == ci_idx
+            a = self._rows(row_slots[row_mask], ci_idx)
+            for cj_idx in np.unique(self.class_of[col_slots]).tolist():
+                col_mask = self.class_of[col_slots] == cj_idx
+                b = self._rows(col_slots[col_mask], cj_idx)
+                if a.shape[1] >= b.shape[1]:
+                    block = self._folded_counts(a, b)
+                else:
+                    block = self._folded_counts(b, a).T
+                out[np.ix_(np.nonzero(row_mask)[0], np.nonzero(col_mask)[0])] = block
+        return out
+
+    def pairwise_slots(self, a_slots, b_slots) -> np.ndarray:
+        """Aligned counts: slot ``a_slots[k]`` intersected with ``b_slots[k]``.
+
+        Pairs are grouped by their (width, width) class combination so each
+        group is answered with one vectorised folded comparison; the result
+        keeps the input order.
+        """
+        a_slots = np.asarray(a_slots, dtype=np.int64).ravel()
+        b_slots = np.asarray(b_slots, dtype=np.int64).ravel()
+        require(a_slots.size == b_slots.size,
+                "pairwise_slots operands must have the same length")
+        out = np.empty(a_slots.size, dtype=np.int64)
+        if a_slots.size == 0:
+            return out
+        # orient every pair as (wide, narrow)
+        swap = self.widths[a_slots] < self.widths[b_slots]
+        wide = np.where(swap, b_slots, a_slots)
+        narrow = np.where(swap, a_slots, b_slots)
+        combos = np.stack([self.class_of[wide], self.class_of[narrow]], axis=1)
+        for ci_idx, cj_idx in np.unique(combos, axis=0).tolist():
+            mask = (combos[:, 0] == ci_idx) & (combos[:, 1] == cj_idx)
+            large = self._rows(wide[mask], ci_idx)
+            small = self._rows(narrow[mask], cj_idx)
+            width_small = int(self.class_widths[cj_idx])
+            reps = int(self.class_widths[ci_idx]) // width_small
+            acc = np.zeros(int(mask.sum()), dtype=np.int64)
+            small_w = _view_widest(small)
+            for block in range(reps):
+                sl = slice(block * width_small, (block + 1) * width_small)
+                acc += _match_count_rows(_view_widest(large[:, sl]), small_w)
+            out[mask] = acc
+        return out
+
+
+class BatchPairCounter:
+    """All-pairs / pairs-list / top-k intersection counts for one collection.
+
+    The engine validates compatibility once, gathers the packed words once,
+    and answers every subsequent query with broadcasted NumPy SWAR — no
+    per-pair Python call.  Build it through
+    :meth:`repro.core.collection.BatmapCollection.batch_counter`, which caches
+    one instance per collection.
+    """
+
+    def __init__(self, collection, *, block_words: int = DEFAULT_BLOCK_WORDS) -> None:
+        self.collection = collection
+        self.block_words = int(block_words)
+        self._validate(collection)
+        buffer = collection.device_buffer()
+        self.index = WidthClassIndex(
+            buffer.words, buffer.offsets, buffer.widths, block_words=block_words
+        )
+        self._counts_sorted = None
+
+    @property
+    def classes(self) -> list[WidthClass]:
+        """The width classes as dense matrices (materialised on access)."""
+        return [self.index.width_class(i) for i in range(self.index.n_classes)]
+
+    # ------------------------------------------------------------------ #
+    # Validation (once per engine, replacing the per-pair _check_compatible)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _validate(collection) -> None:
+        batmaps = collection.batmaps_sorted
+        require(len(batmaps) > 0, "cannot build a batch counter for an empty collection")
+        family = batmaps[0].family
+        for bm in batmaps[1:]:
+            require_same_family(family, bm.family)
+        r0 = collection.r0
+        require_compression_floor(r0, family.shift)
+        if r0 < 4:
+            raise LayoutError(
+                f"batch counting requires word-aligned ranges (r0 >= 4), got r0 = {r0}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def counts_sorted(self) -> np.ndarray:
+        """Dense ``n x n`` count matrix in width-sorted (device) order, cached."""
         if self._counts_sorted is None:
-            n = len(self.collection)
-            out = np.zeros((n, n), dtype=np.int64)
-            for i, ci in enumerate(self.classes):
-                block = self._equal_width_counts(ci.words, ci.words)
-                out[np.ix_(ci.sorted_indices, ci.sorted_indices)] = block
-                for cj in self.classes[i + 1:]:
-                    cross = self._folded_counts(cj.words, ci.words)  # (n_j, n_i)
-                    out[np.ix_(cj.sorted_indices, ci.sorted_indices)] = cross
-                    out[np.ix_(ci.sorted_indices, cj.sorted_indices)] = cross.T
-            self._counts_sorted = out
+            self._counts_sorted = self.index.all_pairs()
         return self._counts_sorted
 
     def count_all_pairs(self) -> np.ndarray:
@@ -266,40 +409,14 @@ class BatchPairCounter:
         return out
 
     def count_pairs(self, pairs) -> np.ndarray:
-        """Counts for an explicit list of ``(i, j)`` original-index pairs.
-
-        Pairs are grouped by their (width, width) class combination so each
-        group is answered with one vectorised folded comparison; the result
-        keeps the input order.
-        """
+        """Counts for an explicit list of ``(i, j)`` original-index pairs."""
         pairs = np.asarray(pairs, dtype=np.int64)
         require(pairs.ndim == 2 and pairs.shape[1] == 2,
                 f"pairs must have shape (k, 2), got {pairs.shape}")
         if pairs.shape[0] == 0:
             return np.zeros(0, dtype=np.int64)
         rank = self.collection.rank
-        a = rank[pairs[:, 0]]
-        b = rank[pairs[:, 1]]
-        # orient every pair as (wide, narrow)
-        swap = self._widths[a] < self._widths[b]
-        wide = np.where(swap, b, a)
-        narrow = np.where(swap, a, b)
-        out = np.empty(pairs.shape[0], dtype=np.int64)
-        combos = np.stack([self._class_of[wide], self._class_of[narrow]], axis=1)
-        for ci_idx, cj_idx in np.unique(combos, axis=0).tolist():
-            mask = (combos[:, 0] == ci_idx) & (combos[:, 1] == cj_idx)
-            ci, cj = self.classes[ci_idx], self.classes[cj_idx]
-            large = ci.words[self._row_of[wide[mask]]]
-            small = cj.words[self._row_of[narrow[mask]]]
-            width_small = cj.width
-            reps = ci.width // width_small
-            acc = np.zeros(int(mask.sum()), dtype=np.int64)
-            small_w = _view_widest(small)
-            for block in range(reps):
-                sl = slice(block * width_small, (block + 1) * width_small)
-                acc += _match_count_rows(_view_widest(large[:, sl]), small_w)
-            out[mask] = acc
-        return out
+        return self.index.pairwise_slots(rank[pairs[:, 0]], rank[pairs[:, 1]])
 
     def count_pair(self, i: int, j: int) -> int:
         """Stored-copy intersection count of original sets ``i`` and ``j``."""
@@ -314,27 +431,9 @@ class BatchPairCounter:
         rows = np.asarray(rows, dtype=np.int64).ravel()
         cols = np.asarray(cols, dtype=np.int64).ravel()
         rank = self.collection.rank
-        row_slots = rank[rows]
-        col_slots = rank[cols]
-        out = np.zeros((rows.size, cols.size), dtype=np.int64)
-        row_classes = np.unique(self._class_of[row_slots]) if rows.size else []
-        col_classes = np.unique(self._class_of[col_slots]) if cols.size else []
-        for ci_idx in np.asarray(row_classes).tolist():
-            row_mask = self._class_of[row_slots] == ci_idx
-            ci = self.classes[ci_idx]
-            a = ci.words[self._row_of[row_slots[row_mask]]]
-            for cj_idx in np.asarray(col_classes).tolist():
-                col_mask = self._class_of[col_slots] == cj_idx
-                cj = self.classes[cj_idx]
-                b = cj.words[self._row_of[col_slots[col_mask]]]
-                if ci.width >= cj.width:
-                    block = self._folded_counts(a, b)
-                else:
-                    block = self._folded_counts(b, a).T
-                out[np.ix_(np.nonzero(row_mask)[0], np.nonzero(col_mask)[0])] = block
-        return out
+        return self.index.cross_slots(rank[rows], rank[cols])
 
-    def top_k(self, k: int) -> list[tuple[tuple[int, int], int]]:
+    def top_k(self, k: int) -> list:
         """The ``k`` off-diagonal pairs with the largest counts.
 
         Returns ``[((i, j), count), ...]`` with ``i < j`` in original indices,

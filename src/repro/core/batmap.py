@@ -24,7 +24,7 @@ from functools import cached_property
 
 import numpy as np
 
-from repro.core.builder import EMPTY, Placement, PlacementStats, place_set
+from repro.core.builder import Placement, PlacementStats, place_set
 from repro.core.config import BatmapConfig, DEFAULT_CONFIG
 from repro.core.errors import LayoutError
 from repro.core.hashing import HashFamily
@@ -140,7 +140,8 @@ class Batmap:
             config=config,
             r=r,
             entries=entries,
-            set_size=int(set_size if set_size is not None else stored.size + len(placement.failed)),
+            set_size=int(set_size if set_size is not None
+                         else stored.size + len(placement.failed)),
             failed=tuple(int(x) for x in placement.failed),
             stats=placement.stats,
         )
@@ -260,8 +261,10 @@ def build_batmap(
     all batmaps share the same hash functions — batmaps built from different
     families are not comparable.
     """
-    elements = np.unique(np.asarray(list(elements) if not isinstance(elements, np.ndarray) else elements,
-                                    dtype=np.int64))
+    elements = np.unique(np.asarray(
+        list(elements) if not isinstance(elements, np.ndarray) else elements,
+        dtype=np.int64,
+    ))
     if family is None:
         shift = config.shift_for_universe(universe_size)
         family = HashFamily.create(universe_size, shift=shift, rng=rng)

@@ -200,14 +200,30 @@ class BatmapCollection:
             return count_common(self.batmap(i), self.batmap(j))
         return self._batch_counter.count_pair(i, j)
 
-    def count_all_pairs(self) -> np.ndarray:
+    def count_all_pairs(self, *, parallel=False, workers: int | None = None) -> np.ndarray:
         """Dense ``n x n`` matrix of stored-copy intersection counts (host path).
 
         Computed by the batch engine in one vectorised pass per width-class
         pair — no per-pair Python call; the diagonal holds each set's stored
         element count.  Results are bit-identical to looping
         :func:`~repro.core.intersection.count_common` over every pair.
+
+        With ``parallel`` truthy the counting is fanned out across a process
+        pool over a shared-memory copy of the packed buffer
+        (:class:`~repro.parallel.executor.ParallelPairCounter`) — still
+        bit-identical.  Pass ``parallel=True`` to auto-select the worker
+        count, or an integer (equivalently ``workers=``) to pin it; small
+        collections fall back to the serial batch engine.
         """
+        if parallel and self.r0 >= 4:
+            # Deferred import: repro.parallel sits above the core layer.
+            from repro.parallel.executor import ParallelPairCounter, recommended_backend
+
+            if workers is None and not isinstance(parallel, bool):
+                workers = int(parallel)
+            if recommended_backend(self, workers=workers) == "parallel":
+                with ParallelPairCounter(self, workers=workers) as counter:
+                    return counter.count_all_pairs()
         if self.r0 < 4:
             return self._count_all_pairs_loop()
         return self.batch_counter().count_all_pairs()

@@ -31,7 +31,7 @@ from typing import Protocol
 
 import numpy as np
 
-from repro.utils.bits import is_power_of_two, next_power_of_two
+from repro.utils.bits import next_power_of_two
 from repro.utils.rng import RngLike, make_rng
 from repro.utils.validation import require, require_positive, require_power_of_two
 
@@ -152,7 +152,8 @@ class FeistelPermutation:
     def _round(self, value: np.ndarray, key: int) -> np.ndarray:
         # A cheap invertible-free mixing function (only used inside Feistel,
         # where invertibility of the round function is not required).
-        v = (value.astype(np.uint64) * np.uint64(0x9E3779B1) + np.uint64(key)) & np.uint64(self._MASK32)
+        v = ((value.astype(np.uint64) * np.uint64(0x9E3779B1) + np.uint64(key))
+             & np.uint64(self._MASK32))
         v ^= v >> np.uint64(15)
         v = (v * np.uint64(0x85EBCA77)) & np.uint64(self._MASK32)
         v ^= v >> np.uint64(13)

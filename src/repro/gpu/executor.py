@@ -14,7 +14,7 @@ deterministic) while the timing model accounts for the device's parallelism.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -7,7 +7,7 @@ each memory system and *how well coalesced* the global accesses are.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

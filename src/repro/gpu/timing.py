@@ -21,7 +21,7 @@ coalescing, which the model captures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.gpu.device import DeviceSpec
 

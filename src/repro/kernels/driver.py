@@ -63,6 +63,7 @@ def run_batmap_pair_counts(
     work_group: tuple[int, int] = (16, 16),
     simulator: GpuSimulator | None = None,
     compute: str = "kernel",
+    workers: int | None = None,
 ) -> DeviceRunResult:
     """Compute every pairwise intersection count of a batmap collection on the simulator.
 
@@ -80,14 +81,34 @@ def run_batmap_pair_counts(
       per-work-group simulation.  Only the host->device transfer is modelled
       (``tiles == 0``, no launch records); use this when the counts matter
       but per-launch statistics do not.
+    * ``"parallel"`` — count for real across ``workers`` processes over one
+      shared-memory copy of the packed buffer
+      (:class:`~repro.parallel.executor.ParallelPairCounter`); bit-identical
+      to ``"batch"``.  Small collections (or a single available worker) fall
+      back to the serial batch engine automatically.  ``workers=None``
+      auto-selects from the machine's core count.
     """
     require_positive(tile_size, "tile_size")
-    if compute not in ("kernel", "batch"):
-        raise ValueError(f"compute must be 'kernel' or 'batch', got {compute!r}")
+    if compute not in ("kernel", "batch", "parallel"):
+        raise ValueError(
+            f"compute must be 'kernel', 'batch' or 'parallel', got {compute!r}"
+        )
     n = len(collection)
     sim = simulator or GpuSimulator(device)
     buffer = collection.device_buffer()
     sim.upload("batmaps", buffer.words)
+
+    if compute == "parallel":
+        # Deferred import: repro.parallel.executor itself imports the tiling
+        # module of this package, so a module-level import would be circular.
+        from repro.parallel.executor import ParallelPairCounter, recommended_backend
+
+        if recommended_backend(collection, workers=workers) == "parallel":
+            with ParallelPairCounter(collection, workers=workers) as counter:
+                counts = counter.counts_sorted().copy()
+        else:
+            counts = collection.batch_counter().counts_sorted().copy()
+        return DeviceRunResult(counts=counts, simulator=sim, tiles=0)
 
     if compute == "batch":
         counts = collection.batch_counter().counts_sorted().copy()

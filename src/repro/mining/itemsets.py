@@ -20,8 +20,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from itertools import combinations
 
-import numpy as np
-
 from repro.datasets.transactions import TransactionDatabase
 from repro.mining.pair_mining import BatmapPairMiner
 from repro.utils.rng import RngLike

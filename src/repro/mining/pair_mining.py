@@ -17,8 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.config import BatmapConfig, DEFAULT_CONFIG
 from repro.datasets.transactions import TransactionDatabase
 from repro.gpu.device import DeviceSpec, GTX_285
@@ -26,6 +24,7 @@ from repro.kernels.driver import run_batmap_pair_counts
 from repro.mining.postprocess import reorder_counts, repair_pair_counts
 from repro.mining.preprocess import preprocess
 from repro.mining.support import MiningReport, PairSupports
+from repro.parallel.executor import ParallelPairCounter, recommended_backend
 from repro.utils.rng import RngLike
 from repro.utils.timer import PhaseTimer
 from repro.utils.validation import require
@@ -52,7 +51,14 @@ class BatmapPairMiner:
         simulator and reports its modelled timing and traffic statistics;
         ``"host"`` computes the (bit-identical) counts with the vectorised
         batch engine (:mod:`repro.core.batch`) on the host — the fast
-        wall-clock serving path, with no device model attached.
+        wall-clock serving path, with no device model attached;
+        ``"parallel"`` distributes the same tiles across a process pool over
+        a shared-memory copy of the packed buffer
+        (:class:`~repro.parallel.executor.ParallelPairCounter`), falling back
+        to the serial batch engine for small inputs.
+    workers:
+        Worker processes for ``compute="parallel"``; ``None`` auto-selects
+        from the machine's core count.
     """
 
     device: DeviceSpec = GTX_285
@@ -60,6 +66,7 @@ class BatmapPairMiner:
     config: BatmapConfig = DEFAULT_CONFIG
     work_group: tuple[int, int] = (16, 16)
     compute: str = "device"
+    workers: int | None = None
 
     def mine(
         self,
@@ -71,8 +78,8 @@ class BatmapPairMiner:
     ) -> MiningReport:
         """Compute the support of every item pair; return results plus phase timings."""
         require(min_support >= 1, f"min_support must be >= 1, got {min_support}")
-        require(self.compute in ("device", "host"),
-                f"compute must be 'device' or 'host', got {self.compute!r}")
+        require(self.compute in ("device", "host", "parallel"),
+                f"compute must be 'device', 'host' or 'parallel', got {self.compute!r}")
         timers = PhaseTimer()
 
         with timers.time("preprocess"):
@@ -84,12 +91,27 @@ class BatmapPairMiner:
                 filter_items=filter_items,
             )
 
-        if self.compute == "host":
+        backend = self.compute
+        if self.compute == "parallel":
+            # Small inputs are not worth a pool — drop to the batch engine.
+            if recommended_backend(pre.collection, workers=self.workers) == "batch":
+                backend = "batch"
+
+        if backend == "parallel":
+            # Real multiprocess counting phase, wall-clock timed end to end
+            # (shared segment + pool startup included).
+            with timers.time("count"):
+                with ParallelPairCounter(pre.collection, workers=self.workers) as counter:
+                    counts_sorted = counter.counts_sorted()
+            result = None
+        elif backend in ("host", "batch"):
+            backend = "batch"
             # Host counting phase: the vectorised batch engine, wall-clock timed.
             with timers.time("count"):
                 counts_sorted = pre.collection.batch_counter().counts_sorted()
             result = None
         else:
+            backend = "kernel"
             # Device phase (timed by the simulator's analytic model, not wall clock).
             result = run_batmap_pair_counts(
                 pre.collection,
@@ -116,6 +138,7 @@ class BatmapPairMiner:
             batmap_bytes=pre.batmap_bytes,
             failed_insertions=n_failed,
             tiles=result.tiles if result else 0,
+            count_backend=backend,
         )
 
     def mine_pairs(

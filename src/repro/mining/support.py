@@ -83,6 +83,10 @@ class MiningReport:
     batmap_bytes: int = 0
     failed_insertions: int = 0
     tiles: int = 0
+    #: Which engine produced the counts: "kernel" (simulated device),
+    #: "batch" (serial host engine — also the small-input fallback of
+    #: compute="parallel") or "parallel" (multiprocess executor).
+    count_backend: str = "kernel"
 
     @property
     def preprocess_seconds(self) -> float:

@@ -1,4 +1,10 @@
-"""CPU parallelism models: multi-core SWAR throughput (Fig. 11) and split scaling (Fig. 9)."""
+"""CPU parallelism: throughput / scaling models and the real multiprocess executor.
+
+Two simulated models reproduce the paper's figures — multi-core SWAR
+throughput (Fig. 11) and split scaling (Fig. 9) — while
+:mod:`repro.parallel.executor` runs tiled pair counting for real across a
+process pool over one shared-memory device buffer.
+"""
 
 from repro.parallel.cpu import (
     CpuThroughputPoint,
@@ -6,7 +12,20 @@ from repro.parallel.cpu import (
     measure_single_core_throughput,
     model_multicore_throughput,
 )
-from repro.parallel.scaling import ScalingPoint, measure_split_scaling, relative_speedups
+from repro.parallel.executor import (
+    ParallelPairCounter,
+    SharedDeviceBuffer,
+    auto_tile_edge,
+    measure_executor_scaling,
+    recommended_backend,
+    resolve_worker_count,
+)
+from repro.parallel.scaling import (
+    ScalingPoint,
+    measure_split_scaling,
+    merge_part_counts,
+    relative_speedups,
+)
 
 __all__ = [
     "CpuThroughputPoint",
@@ -15,5 +34,12 @@ __all__ = [
     "cpu_throughput_series",
     "ScalingPoint",
     "measure_split_scaling",
+    "merge_part_counts",
     "relative_speedups",
+    "ParallelPairCounter",
+    "SharedDeviceBuffer",
+    "auto_tile_edge",
+    "measure_executor_scaling",
+    "recommended_backend",
+    "resolve_worker_count",
 ]

@@ -41,7 +41,8 @@ class TestMerge:
         assert intersection_size_sorted(a, b) == expected
         assert intersection_size_numpy(a, b) == expected
 
-    @given(st.lists(st.integers(0, 300), max_size=100), st.lists(st.integers(0, 300), max_size=100))
+    @given(st.lists(st.integers(0, 300), max_size=100),
+           st.lists(st.integers(0, 300), max_size=100))
     @settings(max_examples=60, deadline=None)
     def test_property_matches_set_intersection(self, a, b):
         sa = np.unique(np.array(a, dtype=np.int64))
@@ -98,7 +99,8 @@ class TestHashSet:
     @given(st.lists(st.integers(0, 500), max_size=80), st.lists(st.integers(0, 500), max_size=80))
     @settings(max_examples=40, deadline=None)
     def test_property_matches_exact(self, a, b):
-        assert intersection_size_hash(a or [0], b or [1]) == exact_intersection_size(a or [0], b or [1])
+        assert (intersection_size_hash(a or [0], b or [1])
+                == exact_intersection_size(a or [0], b or [1]))
 
 
 class TestBitmapIndex:
@@ -114,7 +116,8 @@ class TestBitmapIndex:
 
     def test_intersection(self):
         idx = BitmapIndex.from_sets([range(0, 64, 2), range(0, 64, 3)], universe_size=64)
-        assert idx.intersection_size(0, 1) == exact_intersection_size(range(0, 64, 2), range(0, 64, 3))
+        assert idx.intersection_size(0, 1) == exact_intersection_size(
+            range(0, 64, 2), range(0, 64, 3))
 
     def test_memory_is_dense_in_universe(self):
         # n * ceil(m/32) * 4 bytes regardless of how sparse the sets are

@@ -7,12 +7,16 @@ other (they feed the Figure 6/7 benchmark series).
 
 from itertools import combinations
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.baselines.apriori import AprioriMiner
-from repro.baselines.counting import PairCounter, count_pairs_horizontal, triangle_index, triangle_size
+from repro.baselines.counting import (
+    PairCounter,
+    count_pairs_horizontal,
+    triangle_index,
+    triangle_size,
+)
 from repro.baselines.eclat import EclatMiner
 from repro.baselines.fpgrowth import FPGrowthMiner, FPTree
 from repro.datasets.synthetic import generate_fixed_transactions

@@ -56,6 +56,61 @@ class TestMine:
         assert "loaded 2 transactions" in out.getvalue()
 
 
+class TestComputeFlags:
+    def test_mine_compute_defaults(self, fimi_file):
+        args = build_parser().parse_args(["mine", str(fimi_file)])
+        assert args.compute == "device"
+        assert args.workers is None
+
+    def test_mine_rejects_unknown_compute(self, fimi_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mine", str(fimi_file), "--compute", "quantum"])
+
+    def test_mine_parallel_falls_back_on_small_input(self, fimi_file):
+        out = io.StringIO()
+        assert main(["mine", str(fimi_file), "--compute", "parallel",
+                     "--workers", "2", "--min-support", "2"], out=out) == 0
+        text = out.getvalue()
+        assert "count backend: batch (parallel fell back" in text
+        assert "(1, 2)  support=3" in text
+        assert "(0, 2)  support=3" in text
+
+    def test_mine_host_backend(self, fimi_file):
+        out = io.StringIO()
+        assert main(["mine", str(fimi_file), "--compute", "host",
+                     "--min-support", "2"], out=out) == 0
+        text = out.getvalue()
+        assert "count backend: batch" in text
+        assert "(wall clock)" in text
+
+    def test_mine_backends_agree(self, fimi_file):
+        results = {}
+        for compute in ("device", "host", "parallel"):
+            out = io.StringIO()
+            main(["mine", str(fimi_file), "--compute", compute,
+                  "--min-support", "1"], out=out)
+            results[compute] = [line for line in out.getvalue().splitlines()
+                                if "support=" in line]
+        assert results["device"] == results["host"] == results["parallel"]
+
+    def test_intersect_parallel_falls_back(self, tmp_path):
+        rng = np.random.default_rng(1)
+        a = rng.choice(2000, 300, replace=False)
+        b = rng.choice(2000, 500, replace=False)
+        pa = tmp_path / "a.txt"
+        pb = tmp_path / "b.txt"
+        pa.write_text(" ".join(str(x) for x in a))
+        pb.write_text(" ".join(str(x) for x in b))
+        out = io.StringIO()
+        assert main(["intersect", str(pa), str(pb), "--compute", "parallel",
+                     "--workers", "2"], out=out) == 0
+        text = out.getvalue()
+        assert "count backend: batch (parallel fell back" in text
+        exact = len(set(a.tolist()) & set(b.tolist()))
+        assert f"(batmap): {exact}" in text
+        assert f"(merge) : {exact}" in text
+
+
 class TestGenerate:
     @pytest.mark.parametrize("kind,extra", [
         ("density", ["--items", "30", "--density", "0.1", "--total-items", "500"]),

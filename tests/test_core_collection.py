@@ -7,7 +7,6 @@ from hypothesis import given, settings, strategies as st
 from repro.core.collection import BatmapCollection
 from repro.core.config import BatmapConfig
 from repro.core.hashing import HashFamily
-from repro.core.intersection import exact_intersection_size
 from tests.conftest import random_sets
 
 
@@ -85,6 +84,24 @@ class TestCountAllPairs:
                 failed = set(coll.batmap(i).failed) | set(coll.batmap(j).failed)
                 expected = len((set(sets[i].tolist()) & set(sets[j].tolist())) - failed)
                 assert matrix[i, j] == expected
+
+    def test_parallel_kwarg_matches_serial(self, rng):
+        """parallel=True on a small collection falls back to the batch engine."""
+        m = 400
+        sets = random_sets(rng, 6, m, max_size=80)
+        coll = BatmapCollection.build(sets, m, rng=1)
+        assert np.array_equal(coll.count_all_pairs(parallel=True, workers=2),
+                              coll.count_all_pairs())
+
+    def test_parallel_kwarg_through_pool(self, rng, monkeypatch):
+        import repro.parallel.executor as executor_module
+
+        monkeypatch.setattr(executor_module, "PARALLEL_MIN_SETS", 1)
+        m = 400
+        sets = random_sets(rng, 8, m, max_size=80)
+        coll = BatmapCollection.build(sets, m, rng=1)
+        assert np.array_equal(coll.count_all_pairs(parallel=2),
+                              coll.count_all_pairs())
 
 
 class TestFailures:

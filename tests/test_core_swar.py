@@ -61,7 +61,8 @@ class TestMatchBits:
 
 
 class TestCountMatches:
-    @given(st.lists(st.integers(0, 255), min_size=4, max_size=256).filter(lambda v: len(v) % 4 == 0),
+    @given(st.lists(st.integers(0, 255), min_size=4,
+                    max_size=256).filter(lambda v: len(v) % 4 == 0),
            st.integers(0, 2**31))
     @settings(max_examples=100, deadline=None)
     def test_matches_scalar_reference(self, xs, seed):

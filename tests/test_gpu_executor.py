@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.errors import KernelLaunchError
-from repro.gpu.device import GTX_285, DeviceSpec
+from repro.gpu.device import GTX_285
 from repro.gpu.executor import GpuSimulator
 from repro.gpu.kernel import Kernel, WorkGroupContext
 from repro.gpu.timing import (

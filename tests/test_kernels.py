@@ -6,7 +6,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.baselines.bitmap import BitmapIndex
 from repro.core.collection import BatmapCollection
-from repro.core.config import BatmapConfig
 from repro.kernels.driver import run_batmap_pair_counts, run_bitmap_pair_counts
 from repro.kernels.pair_count import PairCountKernel
 from repro.kernels.tiling import Tile, TileScheduler, pad_to_multiple
@@ -194,3 +193,28 @@ class TestBatchComputeMode:
         coll = BatmapCollection.build(random_sets(rng, 3, m, max_size=30), m, rng=0)
         with pytest.raises(ValueError):
             run_batmap_pair_counts(coll, compute="quantum")
+
+
+class TestParallelComputeMode:
+    def test_parallel_counts_match_kernel_counts(self, rng):
+        """Small input: the parallel mode falls back to the batch engine."""
+        m = 700
+        sets = random_sets(rng, 14, m, max_size=120)
+        coll = BatmapCollection.build(sets, m, rng=6)
+        kernel = run_batmap_pair_counts(coll, tile_size=8)
+        parallel = run_batmap_pair_counts(coll, compute="parallel", workers=2)
+        assert np.array_equal(kernel.counts, parallel.counts)
+        assert parallel.tiles == 0
+        assert parallel.device_seconds == 0.0
+
+    def test_parallel_forced_through_pool(self, rng, monkeypatch):
+        """Lowering the fallback floor drives the counts through real workers."""
+        import repro.parallel.executor as executor_module
+
+        monkeypatch.setattr(executor_module, "PARALLEL_MIN_SETS", 1)
+        m = 700
+        sets = random_sets(rng, 12, m, max_size=120)
+        coll = BatmapCollection.build(sets, m, rng=2)
+        batch = run_batmap_pair_counts(coll, compute="batch")
+        parallel = run_batmap_pair_counts(coll, compute="parallel", workers=2)
+        assert np.array_equal(batch.counts, parallel.counts)

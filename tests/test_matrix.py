@@ -107,8 +107,10 @@ class TestJoinProject:
 
     def test_batmap_and_dense_agree(self):
         rng = np.random.default_rng(3)
-        pairs_r = [(int(a), int(k)) for a, k in zip(rng.integers(0, 10, 60), rng.integers(0, 25, 60))]
-        pairs_s = [(int(k), int(c)) for k, c in zip(rng.integers(0, 25, 60), rng.integers(0, 8, 60))]
+        pairs_r = [(int(a), int(k))
+                   for a, k in zip(rng.integers(0, 10, 60), rng.integers(0, 25, 60))]
+        pairs_s = [(int(k), int(c))
+                   for k, c in zip(rng.integers(0, 25, 60), rng.integers(0, 8, 60))]
         r = Relation.from_tuples(pairs_r, 10, 25)
         s = Relation.from_tuples(pairs_s, 25, 8)
         assert np.array_equal(join_project_counting(r, s, use_batmaps=True, rng=0),

@@ -106,7 +106,8 @@ class TestPacking:
         with pytest.raises(ValueError):
             pack_bytes_to_words(np.zeros(5, dtype=np.uint8))
 
-    @given(st.lists(st.integers(0, 255), min_size=0, max_size=64).filter(lambda v: len(v) % 4 == 0))
+    @given(st.lists(st.integers(0, 255), min_size=0,
+                    max_size=64).filter(lambda v: len(v) % 4 == 0))
     def test_property_roundtrip(self, values):
         data = np.array(values, dtype=np.uint8)
         assert np.array_equal(unpack_words_to_bytes(pack_bytes_to_words(data)), data)
