@@ -8,7 +8,11 @@ subcommands cover the workflows a downstream user actually runs:
     generated synthetic instance) with a chosen engine, print the top pairs
     and the phase/throughput summary.  ``--compute parallel --workers N``
     counts across a process pool over a shared-memory buffer (small inputs
-    fall back to the serial batch engine).
+    fall back to the serial batch engine); ``--compute auto`` defers the
+    choice to the workload planner (:mod:`repro.core.plan`).
+    ``--max-size k`` with ``k > 2`` extends the batmap engine levelwise to
+    itemsets of up to ``k`` items (supports counted by the vectorised
+    bitmap engine of :mod:`repro.mining.levelwise`).
 
 ``repro generate``
     Generate a synthetic dataset (the paper's Bernoulli generator, the Quest
@@ -16,9 +20,11 @@ subcommands cover the workflows a downstream user actually runs:
     format.
 
 ``repro intersect``
-    Compute the intersection size of two sets given as whitespace-separated
-    integer files, via batmaps and via sorted-list merge, printing both
-    results and the batmap statistics.
+    Compute the intersection size of two or more sets given as
+    whitespace-separated integer files, via batmaps and via sorted-list
+    merge, printing both results and the batmap statistics.  More than two
+    sets (or ``--multiway``) route through the batched multi-way probe path
+    of :mod:`repro.extensions.multiway`.
 
 All three are also exposed through ``python -m repro.cli <subcommand> ...``.
 """
@@ -41,11 +47,14 @@ from repro.core.collection import BatmapCollection
 from repro.core.config import BatmapConfig
 from repro.core.hashing import HashFamily
 from repro.core.intersection import count_common
+from repro.core.plan import plan_counts
 from repro.parallel.executor import recommended_backend
 from repro.datasets.fimi_io import read_fimi, write_fimi
 from repro.datasets.ibm_quest import QuestParameters, generate_quest_dataset
 from repro.datasets.synthetic import generate_density_instance
 from repro.datasets.webdocs import generate_webdocs_like
+from repro.extensions.multiway import multiway_intersection
+from repro.mining.itemsets import BatmapItemsetMiner
 from repro.mining.pair_mining import BatmapPairMiner
 
 __all__ = ["main", "build_parser"]
@@ -69,14 +78,18 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--top", type=int, default=10, help="number of pairs to print")
     mine.add_argument("--max-transactions", type=int, default=None)
     mine.add_argument("--seed", type=int, default=0)
-    mine.add_argument("--compute", choices=["device", "host", "parallel"],
+    mine.add_argument("--compute", choices=["device", "host", "parallel", "auto"],
                       default="device",
                       help="batmap counting backend: simulated device kernel, "
-                           "serial host batch engine, or multiprocess executor "
-                           "(small inputs fall back to the batch engine)")
+                           "serial host batch engine, multiprocess executor "
+                           "(small inputs fall back to the batch engine), or "
+                           "auto (the workload planner picks)")
     mine.add_argument("--workers", type=int, default=None,
                       help="worker processes for --compute parallel "
                            "(default: auto from the core count)")
+    mine.add_argument("--max-size", type=int, default=2,
+                      help="largest itemset size to mine (batmap engine only); "
+                           "sizes > 2 run the levelwise bitmap extension")
 
     gen = sub.add_parser("generate", help="generate a synthetic dataset in FIMI format")
     gen.add_argument("output", type=Path)
@@ -87,18 +100,23 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--transactions", type=int, default=1000)
     gen.add_argument("--seed", type=int, default=0)
 
-    inter = sub.add_parser("intersect", help="intersect two integer-set files")
-    inter.add_argument("set_a", type=Path)
-    inter.add_argument("set_b", type=Path)
+    inter = sub.add_parser("intersect", help="intersect two or more integer-set files")
+    inter.add_argument("sets", type=Path, nargs="+",
+                       help="two or more whitespace-separated integer-set files")
     inter.add_argument("--universe", type=int, default=None,
                        help="universe size (default: max id + 1)")
     inter.add_argument("--seed", type=int, default=0)
-    inter.add_argument("--compute", choices=["host", "parallel"], default="host",
-                       help="count on the host directly or through the "
+    inter.add_argument("--compute", choices=["host", "parallel", "auto"],
+                       default="host",
+                       help="count on the host directly, through the "
                             "multiprocess executor path (two sets always fall "
-                            "back to the batch engine)")
+                            "back to the batch engine), or let the workload "
+                            "planner pick")
     inter.add_argument("--workers", type=int, default=None,
                        help="worker processes for --compute parallel")
+    inter.add_argument("--multiway", action="store_true",
+                       help="force the multi-way batmap probe path "
+                            "(implied when more than two sets are given)")
     return parser
 
 
@@ -106,9 +124,21 @@ def build_parser() -> argparse.ArgumentParser:
 # Subcommand implementations
 # --------------------------------------------------------------------------- #
 def _cmd_mine(args: argparse.Namespace, out) -> int:
+    if args.max_size < 1:
+        print(f"--max-size must be >= 1, got {args.max_size}", file=out)
+        return 2
+    if args.max_size != 2 and args.engine != "batmap":
+        print(f"--max-size other than 2 requires the batmap engine, "
+              f"got {args.engine!r}", file=out)
+        return 2
     db = read_fimi(args.input, max_transactions=args.max_transactions)
     print(f"loaded {db.n_transactions} transactions, {db.n_items} items, "
           f"{db.total_items} occurrences (density {db.density:.4f})", file=out)
+
+    if args.max_size != 2:
+        # Sizes 1 and >= 3 both run the itemset driver (a bare --max-size 1
+        # must restrict the output to singletons, not silently mine pairs).
+        return _mine_itemsets(args, db, out)
 
     start = time.perf_counter()
     if args.engine == "batmap":
@@ -140,6 +170,31 @@ def _cmd_mine(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _mine_itemsets(args: argparse.Namespace, db, out) -> int:
+    """Levelwise itemset mining (``--max-size > 2``) through the bitmap engine."""
+    start = time.perf_counter()
+    pair_miner = BatmapPairMiner(compute=args.compute, workers=args.workers)
+    miner = BatmapItemsetMiner(pair_miner, max_size=args.max_size,
+                               workers=args.workers)
+    result = miner.mine(db, min_support=args.min_support, rng=args.seed)
+    elapsed = time.perf_counter() - start
+
+    print(f"{len(result.itemsets)} frequent itemsets up to size "
+          f"{result.max_size()} (support >= {args.min_support}) "
+          f"in {elapsed:.3f}s wall clock "
+          f"[batmap + levelwise, {result.extension_levels} extension level(s)]",
+          file=out)
+    for k in range(1, result.max_size() + 1):
+        level = result.of_size(k)
+        if level:
+            print(f"  size {k}: {len(level)} itemsets", file=out)
+    ranked = sorted(result.itemsets.items(),
+                    key=lambda kv: (-len(kv[0]), -kv[1], kv[0]))[:args.top]
+    for itemset, support in ranked:
+        print(f"  {tuple(itemset)}  support={support}", file=out)
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace, out) -> int:
     if args.kind == "density":
         db = generate_density_instance(args.items, args.density, args.total_items,
@@ -162,29 +217,68 @@ def _read_id_file(path: Path) -> np.ndarray:
     return np.unique(np.array([int(t) for t in tokens], dtype=np.int64))
 
 
-def _cmd_intersect(args: argparse.Namespace, out) -> int:
-    set_a = _read_id_file(args.set_a)
-    set_b = _read_id_file(args.set_b)
-    if set_a.size == 0 or set_b.size == 0:
-        print("intersection size: 0 (one of the sets is empty)", file=out)
-        return 0
-    universe = args.universe or int(max(set_a.max(), set_b.max())) + 1
+def _cmd_intersect_multiway(args: argparse.Namespace, sets, universe, out) -> int:
+    """Intersect three or more sets through the batched multi-way probe path."""
     config = BatmapConfig()
     family = HashFamily.create(universe, shift=config.shift_for_universe(universe),
                                rng=args.seed)
-    if args.compute == "parallel":
+    collection = BatmapCollection.build(sets, universe, config=config,
+                                        family=family, sort_by_size=False)
+    result = multiway_intersection(collection, list(range(len(sets))))
+    exact = sets[0]
+    for s in sets[1:]:
+        exact = np.intersect1d(exact, s, assume_unique=True)
+    sizes = ", ".join(str(s.size) for s in sets)
+    print(f"{len(sets)} sets of sizes [{sizes}], universe = {universe}", file=out)
+    print("count backend: host (batched multiway probes)", file=out)
+    print(f"intersection size (batmap): {result.size}", file=out)
+    print(f"intersection size (merge) : {exact.size}", file=out)
+    total_bytes = sum(collection.batmap(i).memory_bytes for i in range(len(sets)))
+    n_failed = sum(len(collection.batmap(i).failed) for i in range(len(sets)))
+    print(f"batmap sizes: {total_bytes} B total ({n_failed} failed insertions)",
+          file=out)
+    return 0
+
+
+def _cmd_intersect(args: argparse.Namespace, out) -> int:
+    if len(args.sets) < 2:
+        print("intersect needs at least two set files", file=out)
+        return 2
+    sets = [_read_id_file(p) for p in args.sets]
+    if any(s.size == 0 for s in sets):
+        print("intersection size: 0 (one of the sets is empty)", file=out)
+        return 0
+    universe = args.universe or int(max(int(s.max()) for s in sets)) + 1
+    if len(sets) > 2 or args.multiway:
+        return _cmd_intersect_multiway(args, sets, universe, out)
+
+    set_a, set_b = sets
+    config = BatmapConfig()
+    family = HashFamily.create(universe, shift=config.shift_for_universe(universe),
+                               rng=args.seed)
+    if args.compute in ("parallel", "auto"):
         # One build: the printed stats must describe the same batmaps that
         # produced the count (the collection path clamps r >= 4).
         collection = BatmapCollection.build([set_a, set_b], universe,
                                             config=config, family=family,
                                             sort_by_size=False)
         bm_a, bm_b = collection.batmap(0), collection.batmap(1)
-        backend = recommended_backend(collection, workers=args.workers)
-        counts = collection.count_all_pairs(parallel=True, workers=args.workers)
-        batmap_count = int(counts[0, 1])
-        note = (" (parallel fell back: input below the pool pay-off floor)"
-                if backend == "batch" else "")
-        print(f"count backend: {backend}{note}", file=out)
+        if args.compute == "auto":
+            plan = plan_counts(collection, workers=args.workers, n_pairs=1)
+            print(f"count backend: {plan.backend} ({plan.reason})", file=out)
+            if plan.backend == "parallel":
+                counts = collection.count_all_pairs(parallel=True,
+                                                    workers=args.workers)
+                batmap_count = int(counts[0, 1])
+            else:
+                batmap_count = collection.count_pair(0, 1)
+        else:
+            backend = recommended_backend(collection, workers=args.workers)
+            counts = collection.count_all_pairs(parallel=True, workers=args.workers)
+            batmap_count = int(counts[0, 1])
+            note = (" (parallel fell back: input below the pool pay-off floor)"
+                    if backend == "batch" else "")
+            print(f"count backend: {backend}{note}", file=out)
     else:
         bm_a = build_batmap(set_a, universe, family=family, config=config)
         bm_b = build_batmap(set_b, universe, family=family, config=config)

@@ -10,6 +10,8 @@ Public entry points:
   batmaps.
 * :class:`~repro.core.batch.BatchPairCounter` — vectorised all-pairs /
   pairs-list / top-k counting over a whole collection (the host hot path).
+* :func:`~repro.core.plan.plan_counts` — the workload planner that picks a
+  counting backend (host / batch / parallel / kernel) per request.
 """
 
 from repro.core.batch import BatchPairCounter, WidthClass, WidthClassIndex
@@ -40,6 +42,12 @@ from repro.core.intersection import (
     count_common_packed,
     exact_intersection_size,
 )
+from repro.core.plan import (
+    CountPlan,
+    PlanFeatures,
+    plan_counts,
+    plan_levelwise,
+)
 from repro.core.swar import (
     count_matches,
     count_matches_folded,
@@ -69,6 +77,10 @@ __all__ = [
     "count_common_bytes",
     "count_common_packed",
     "exact_intersection_size",
+    "CountPlan",
+    "PlanFeatures",
+    "plan_counts",
+    "plan_levelwise",
     "count_matches",
     "count_matches_folded",
     "count_matches_per_word",

@@ -391,6 +391,12 @@ class BatchPairCounter:
             raise LayoutError(
                 f"batch counting requires word-aligned ranges (r0 >= 4), got r0 = {r0}"
             )
+        if collection.config.entry_storage_bits != 8:
+            raise LayoutError(
+                "batch counting requires one-byte entries; "
+                f"payload_bits={collection.config.payload_bits} stores "
+                f"{collection.config.entry_dtype} — use the per-pair reference path"
+            )
 
     # ------------------------------------------------------------------ #
     # Queries

@@ -80,7 +80,9 @@ class Batmap:
     def __post_init__(self) -> None:
         require(self.entries.shape == (3, self.r),
                 f"entries must have shape (3, {self.r}), got {self.entries.shape}")
-        require(self.entries.dtype == np.uint8, "entries must be uint8")
+        require(self.entries.dtype == self.config.entry_dtype,
+                f"entries must be {self.config.entry_dtype} for "
+                f"payload_bits={self.config.payload_bits}, got {self.entries.dtype}")
         require(self.r >= 1, "range must be at least 1")
 
     # ------------------------------------------------------------------ #
@@ -98,7 +100,8 @@ class Batmap:
         """Encode a raw cuckoo placement into the compressed byte layout."""
         r = placement.r
         rows = placement.rows
-        entries = np.zeros((3, r), dtype=np.uint8)
+        dtype = config.entry_dtype
+        entries = np.zeros((3, r), dtype=dtype)
 
         stored = placement.stored_elements
         if stored.size:
@@ -126,14 +129,15 @@ class Batmap:
             table_b = 2 - np.argmax(present[::-1], axis=0)
             # Indicator bits of _INDICATOR: the pair {0, 2} is cyclically
             # ordered 2 -> 0, so only there the *first* table carries bit 1.
-            bit_a = ((table_a == 0) & (table_b == 2)).astype(np.uint8)
-            bit_b = np.uint8(1) - bit_a
+            ind = np.int64(config.indicator_shift)
+            bit_a = ((table_a == 0) & (table_b == 2)).astype(np.int64)
+            bit_b = np.int64(1) - bit_a
             entries[table_a, pos[table_a, idx]] = (
-                (bit_a << 7) | payloads[table_a, idx].astype(np.uint8)
-            )
+                (bit_a << ind) | payloads[table_a, idx]
+            ).astype(dtype)
             entries[table_b, pos[table_b, idx]] = (
-                (bit_b << 7) | payloads[table_b, idx].astype(np.uint8)
-            )
+                (bit_b << ind) | payloads[table_b, idx]
+            ).astype(dtype)
 
         return cls(
             family=family,
@@ -172,22 +176,28 @@ class Batmap:
             entry = int(self.entries[t, p])
             if entry == 0:
                 continue
-            payload = entry & 0x7F
+            payload = entry & self.config.payload_mask
             if payload == int(self.family.payloads(t, x)[0]):
                 return True
         return False
 
     def decode_elements(self) -> np.ndarray:
-        """Recover the sorted set of stored element ids (for tests / debugging)."""
-        found: set[int] = set()
+        """Recover the sorted set of stored element ids.
+
+        Fully vectorised (one decode pass per table, one ``np.unique`` merge):
+        the multiway probe path enumerates pivot candidates through this, so
+        it is a serving-path operation, not just a debugging aid.
+        """
+        per_table = []
         for t in range(3):
             positions = np.nonzero(self.entries[t] != 0)[0]
             if positions.size == 0:
                 continue
-            payloads = self.entries[t, positions].astype(np.int64) & 0x7F
-            elements = self.family.decode(t, payloads, positions, self.r)
-            found.update(int(e) for e in elements.tolist())
-        return np.array(sorted(found), dtype=np.int64)
+            payloads = self.entries[t, positions].astype(np.int64) & self.config.payload_mask
+            per_table.append(self.family.decode(t, payloads, positions, self.r))
+        if not per_table:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(np.concatenate(per_table))
 
     # ------------------------------------------------------------------ #
     # Layout / packing
@@ -199,6 +209,12 @@ class Batmap:
         Rows shorter than four entries are zero-padded; NULL entries never
         match anything, so padding cannot change any intersection count.
         """
+        if self.entries.dtype != np.uint8:
+            raise LayoutError(
+                f"packed word layout requires one-byte entries; "
+                f"payload_bits={self.config.payload_bits} stores "
+                f"{self.config.entry_dtype} — use the byte-wise comparison path"
+            )
         r_padded = max(4, ((self.r + 3) // 4) * 4)
         padded = np.zeros((3, r_padded), dtype=np.uint8)
         padded[:, : self.r] = self.entries
@@ -212,6 +228,11 @@ class Batmap:
         one is then ``position mod (3 * r_small)``.
         """
         require(r0 <= self.r, f"r0 ({r0}) must not exceed r ({self.r})")
+        if self.entries.dtype != np.uint8:
+            raise LayoutError(
+                "the interleaved device layout packs one byte per slot; "
+                f"payload_bits={self.config.payload_bits} does not fit"
+            )
         out = np.zeros(3 * self.r, dtype=np.uint8)
         blocks = self.r // r0
         for t in range(3):
@@ -222,8 +243,8 @@ class Batmap:
 
     @property
     def memory_bytes(self) -> int:
-        """Size of the compressed representation (one byte per slot)."""
-        return 3 * self.r
+        """Size of the compressed representation (one storage unit per slot)."""
+        return 3 * self.r * self.entries.dtype.itemsize
 
     @property
     def width_words(self) -> int:

@@ -177,6 +177,15 @@ class BatmapCollection:
     # ------------------------------------------------------------------ #
     # Host-side pair counting (batch engine)
     # ------------------------------------------------------------------ #
+    def has_batch_counter(self) -> bool:
+        """Whether the batch engine has already been built for this collection.
+
+        A planner feature (:class:`~repro.core.plan.PlanFeatures`): once the
+        packed buffer has been gathered, even point queries are cheaper
+        through the engine than through the per-pair reference.
+        """
+        return self._batch_counter is not None
+
     def batch_counter(self) -> BatchPairCounter:
         """The vectorised batch pair-counting engine for this collection (cached).
 
@@ -200,31 +209,45 @@ class BatmapCollection:
             return count_common(self.batmap(i), self.batmap(j))
         return self._batch_counter.count_pair(i, j)
 
-    def count_all_pairs(self, *, parallel=False, workers: int | None = None) -> np.ndarray:
-        """Dense ``n x n`` matrix of stored-copy intersection counts (host path).
+    def count_all_pairs(
+        self,
+        *,
+        parallel=False,
+        workers: int | None = None,
+        compute: str | None = None,
+    ) -> np.ndarray:
+        """Dense ``n x n`` matrix of stored-copy intersection counts.
 
-        Computed by the batch engine in one vectorised pass per width-class
-        pair — no per-pair Python call; the diagonal holds each set's stored
-        element count.  Results are bit-identical to looping
-        :func:`~repro.core.intersection.count_common` over every pair.
+        Backend selection goes through the workload planner
+        (:func:`~repro.core.plan.plan_counts`); all backends are
+        bit-identical to looping :func:`~repro.core.intersection.count_common`
+        over every pair.  The diagonal holds each set's stored element count.
 
-        With ``parallel`` truthy the counting is fanned out across a process
-        pool over a shared-memory copy of the packed buffer
-        (:class:`~repro.parallel.executor.ParallelPairCounter`) — still
-        bit-identical.  Pass ``parallel=True`` to auto-select the worker
+        ``compute`` names a backend explicitly (``"auto"``, ``"host"``,
+        ``"batch"`` or ``"parallel"``).  ``parallel`` is the older shorthand
+        for ``compute="parallel"``: pass ``True`` to auto-select the worker
         count, or an integer (equivalently ``workers=``) to pin it; small
-        collections fall back to the serial batch engine.
+        collections still fall back to the serial batch engine.  With
+        neither argument the serial engines are used (the batch engine when
+        the layout is word-packable, the per-pair loop otherwise).
         """
-        if parallel and self.r0 >= 4:
-            # Deferred import: repro.parallel sits above the core layer.
-            from repro.parallel.executor import ParallelPairCounter, recommended_backend
+        from repro.core.plan import plan_counts  # parallel sits above core
 
-            if workers is None and not isinstance(parallel, bool):
-                workers = int(parallel)
-            if recommended_backend(self, workers=workers) == "parallel":
-                with ParallelPairCounter(self, workers=workers) as counter:
-                    return counter.count_all_pairs()
-        if self.r0 < 4:
+        require(compute in (None, "auto", "host", "batch", "parallel"),
+                f"compute must be 'auto', 'host', 'batch' or 'parallel', got {compute!r}")
+        if workers is None and parallel and not isinstance(parallel, bool):
+            workers = int(parallel)
+        byte_packable = self.r0 >= 4 and self.config.entry_storage_bits == 8
+        requested = compute if compute is not None else (
+            "parallel" if parallel else ("batch" if byte_packable else "host")
+        )
+        plan = plan_counts(self, requested=requested, workers=workers)
+        if plan.backend == "parallel" and byte_packable:
+            from repro.parallel.executor import ParallelPairCounter
+
+            with ParallelPairCounter(self, workers=workers) as counter:
+                return counter.count_all_pairs()
+        if plan.backend == "host" or not byte_packable:
             return self._count_all_pairs_loop()
         return self.batch_counter().count_all_pairs()
 

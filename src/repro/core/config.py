@@ -18,6 +18,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field, replace
 
+import numpy as np
+
 from repro.utils.bits import next_power_of_two
 from repro.utils.validation import require, require_positive
 
@@ -72,6 +74,51 @@ class BatmapConfig:
     def is_byte_packed(self) -> bool:
         """True when entries are exactly one byte, enabling the SWAR word tricks."""
         return self.entry_bits == 8
+
+    @property
+    def entry_storage_bits(self) -> int:
+        """Bits of the unsigned integer an entry is *stored* in (8, 16 or 32).
+
+        Entries are kept in the smallest machine dtype that fits
+        :attr:`entry_bits`; narrower-than-default payloads (< 7 bits) still
+        occupy one byte, so every ``payload_bits <= 7`` layout stays
+        compatible with the packed SWAR comparison paths.
+        """
+        for bits in (8, 16, 32):
+            if self.entry_bits <= bits:
+                return bits
+        raise AssertionError("entry_bits > 32 is rejected by __post_init__")
+
+    @property
+    def entry_dtype(self) -> np.dtype:
+        """NumPy dtype backing the entries array (uint8/uint16/uint32)."""
+        return np.dtype(f"uint{self.entry_storage_bits}")
+
+    @property
+    def payload_mask(self) -> int:
+        """Mask extracting the payload from a stored entry.
+
+        Derived from :attr:`payload_bits` — the single source every decode /
+        membership / comparison path must use.  (The seed hardcoded ``0x7F``
+        in several places, silently corrupting any non-default width.)
+        """
+        return (1 << self.payload_bits) - 1
+
+    @property
+    def indicator_shift(self) -> int:
+        """Bit position of the cyclic-order indicator: the storage dtype's top bit.
+
+        Pinning the indicator to the *storage* top bit (not bit
+        ``payload_bits``) keeps every ``payload_bits <= 7`` layout
+        bit-compatible with the byte-packed SWAR engines, whose masks assume
+        bit 7.
+        """
+        return self.entry_storage_bits - 1
+
+    @property
+    def indicator_mask(self) -> int:
+        """Mask selecting the indicator bit of a stored entry."""
+        return 1 << self.indicator_shift
 
     def shift_for_universe(self, universe_size: int) -> int:
         """Number of low-order bits ``s`` dropped from permuted ids for universe ``{0..m-1}``.

@@ -32,6 +32,7 @@ import numpy as np
 from repro.core.batmap import Batmap
 from repro.core.errors import LayoutError
 from repro.core.swar import count_matches_folded
+from repro.utils.validation import require
 
 __all__ = [
     "exact_intersection_size",
@@ -84,16 +85,27 @@ def _order(b1: Batmap, b2: Batmap) -> tuple[Batmap, Batmap]:
 
 
 def count_common_bytes(b1: Batmap, b2: Batmap) -> int:
-    """Reference byte-wise count: payloads equal and indicator bits OR to 1."""
+    """Reference entry-wise count: payloads equal and indicator bits OR to 1.
+
+    Masks come from the batmaps' :class:`~repro.core.config.BatmapConfig`
+    (not a hardcoded ``0x7F``/``0x80``), so the reference is exact for every
+    configured payload width — including the wide layouts (``payload_bits > 7``)
+    that the packed SWAR paths cannot represent.
+    """
     _check_compatible(b1, b2)
+    require(b1.config.payload_bits == b2.config.payload_bits,
+            "batmaps with different payload widths cannot be compared")
     large, small = _order(b1, b2)
     reps = large.r // small.r
     # Tile the smaller batmap's rows so both operands have shape (3, r_large).
     small_rows = np.tile(small.entries, (1, reps))
+    dtype = large.entries.dtype
+    payload_mask = dtype.type(b1.config.payload_mask)
+    indicator_mask = dtype.type(b1.config.indicator_mask)
     x = large.entries
     y = small_rows
-    payload_equal = ((x ^ y) & np.uint8(0x7F)) == 0
-    indicator_or = ((x | y) & np.uint8(0x80)) != 0
+    payload_equal = ((x ^ y) & payload_mask) == 0
+    indicator_or = ((x | y) & indicator_mask) != 0
     return int(np.count_nonzero(payload_equal & indicator_or))
 
 
@@ -101,9 +113,10 @@ def count_common_packed(b1: Batmap, b2: Batmap) -> int:
     """SWAR count on 32-bit packed rows (4 entries per word)."""
     _check_compatible(b1, b2)
     large, small = _order(b1, b2)
-    if small.r < 4 or large.r < 4:
-        # Padding would break the mod-r folding alignment; the byte path is
-        # exact for tiny ranges and they are negligible anyway.
+    if small.r < 4 or large.r < 4 or large.entries.dtype != np.uint8:
+        # Padding would break the mod-r folding alignment for tiny ranges,
+        # and entries wider than one byte (payload_bits > 7) have no packed
+        # word form; the entry-wise path is exact for both.
         return count_common_bytes(b1, b2)
     total = 0
     for t in range(3):

@@ -1,0 +1,244 @@
+"""Workload planner: pick a counting backend per request, not per call site.
+
+PR 1/2 grew three interchangeable pair-counting engines — the per-pair host
+reference (:func:`repro.core.intersection.count_common`), the serial
+vectorised batch engine (:class:`repro.core.batch.BatchPairCounter`) and the
+multiprocess executor (:class:`repro.parallel.executor.ParallelPairCounter`)
+— plus the simulated device kernel for modelling.  Each integration point
+(the kernel driver, the miner, the collection API, the CLI, the matrix
+product) used to make its own ad-hoc choice between them through scattered
+``compute=`` strings and the executor's ``recommended_backend`` helper.
+
+This module centralises that decision.  :func:`plan_counts` inspects the
+request — collection size, packed width mix, available cores, and (when
+known) how many pairs the query touches — and returns a :class:`CountPlan`
+naming the backend to run.  The policy, in order:
+
+1. **Layout gates** — sub-word ranges (``r0 < 4``) or entries wider than one
+   byte (``payload_bits > 7``) cannot use the packed SWAR engines; only the
+   per-pair ``host`` reference is exact there.
+2. **Point queries** stay on ``host``: a handful of pairs never amortises
+   gathering the packed buffer into width-class matrices.
+3. **Small collections** (below :data:`PARALLEL_MIN_SETS`) or single-core
+   hosts run the serial ``batch`` engine — pool startup plus result transfer
+   would dominate the counting work.
+4. **Wide-class-heavy collections** (mean packed width at or above
+   :data:`WIDE_WORDS_PER_SET`) also stay on ``batch``: the SWAR pass is
+   memory-bandwidth-bound on wide rows, exactly as the paper's Figure 11
+   measures for the CPU loop, so extra processes add contention, not
+   throughput.
+5. Everything else fans out to ``parallel``.
+
+``kernel`` (the GPU simulator) is never auto-selected — it models a device,
+it does not serve requests — but an explicit ``requested="kernel"`` is
+honoured so drivers can route through one entry point.
+
+The executor's pay-off floor and worker cap remain defined in
+:mod:`repro.parallel.executor` (tests monkeypatch them there); this module
+reads them lazily at plan time, which also keeps ``repro.core`` importable
+without pulling in ``multiprocessing``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require
+
+__all__ = [
+    "BACKENDS",
+    "WIDE_WORDS_PER_SET",
+    "HOST_MAX_PAIRS",
+    "PlanFeatures",
+    "CountPlan",
+    "plan_counts",
+    "plan_levelwise",
+]
+
+#: Backends a plan can name, slowest-setup-last.
+BACKENDS = ("host", "batch", "parallel", "kernel")
+
+#: Mean packed words per set at which a collection counts as wide-class
+#: heavy: one width-class SWAR pass over rows this wide already saturates
+#: memory bandwidth, so the planner keeps such workloads on the serial batch
+#: engine instead of paying pool startup for no extra throughput.
+WIDE_WORDS_PER_SET = 1 << 12
+
+#: Explicit pair lists at or below this size stay on the per-pair host
+#: reference unless a batch engine has already been built for the collection.
+HOST_MAX_PAIRS = 16
+
+
+def _executor_policy():
+    """Pay-off floor and worker resolution, read lazily from the executor.
+
+    Deferred import for two reasons: ``repro.parallel`` sits above the core
+    layer, and the regression tests monkeypatch
+    ``repro.parallel.executor.PARALLEL_MIN_SETS`` — reading the attribute at
+    plan time keeps those patches effective.
+    """
+    from repro.parallel import executor
+
+    return executor.PARALLEL_MIN_SETS, executor.resolve_worker_count
+
+
+@dataclass(frozen=True)
+class PlanFeatures:
+    """The problem-shape summary the planner decides from.
+
+    Built from a collection with :meth:`from_collection`; constructed
+    directly in tests (and by callers that know the shape without building
+    batmaps, e.g. capacity planning).
+    """
+
+    n_sets: int            #: number of sets in the collection
+    total_words: int       #: sum of packed row widths over all sets
+    r0: int                #: smallest hash range present
+    byte_entries: bool     #: True when entries occupy one byte (SWAR-packable)
+    cached_engine: bool = False  #: a BatchPairCounter already exists
+
+    @classmethod
+    def from_collection(cls, collection) -> "PlanFeatures":
+        # Widths come from the batmap ranges directly (3*r entries / 4 per
+        # word) — building the packed device buffer is not needed to plan.
+        total_words = sum(3 * bm.r // 4 for bm in collection.batmaps_sorted)
+        return cls(
+            n_sets=len(collection),
+            total_words=int(total_words),
+            r0=collection.r0,
+            byte_entries=collection.config.entry_storage_bits == 8,
+            cached_engine=collection.has_batch_counter(),
+        )
+
+    @property
+    def mean_words(self) -> float:
+        return self.total_words / self.n_sets if self.n_sets else 0.0
+
+
+@dataclass(frozen=True)
+class CountPlan:
+    """The planner's verdict: which engine to run and with how many workers."""
+
+    backend: str   #: one of :data:`BACKENDS`
+    workers: int   #: resolved worker count (1 for the serial backends)
+    reason: str    #: one-line explanation, surfaced by the CLI
+
+    def __post_init__(self) -> None:
+        require(self.backend in BACKENDS,
+                f"backend must be one of {BACKENDS}, got {self.backend!r}")
+
+
+def plan_counts(
+    features,
+    *,
+    requested: str = "auto",
+    workers: int | None = None,
+    n_pairs: int | None = None,
+) -> CountPlan:
+    """Choose the counting backend for one request.
+
+    Parameters
+    ----------
+    features:
+        A :class:`PlanFeatures` or a :class:`~repro.core.collection.BatmapCollection`.
+    requested:
+        ``"auto"`` applies the full policy.  An explicit backend name is
+        honoured, with one exception kept from ``recommended_backend``:
+        ``"parallel"`` demotes to ``"batch"`` when the pool cannot pay off
+        (single worker, or below the executor's set floor).
+    workers:
+        Worker count for the parallel backend; ``None`` auto-selects from
+        the core count (capped by the executor policy).
+    n_pairs:
+        Number of pairs the query touches, when the caller knows it (point
+        queries and explicit pair lists); ``None`` means an all-pairs-sized
+        workload.
+    """
+    if not isinstance(features, PlanFeatures):
+        features = PlanFeatures.from_collection(features)
+    require(requested == "auto" or requested in BACKENDS,
+            f"requested must be 'auto' or one of {BACKENDS}, got {requested!r}")
+    min_sets, resolve_workers = _executor_policy()
+    n_workers = resolve_workers(workers)
+
+    if requested == "kernel":
+        return CountPlan("kernel", 1, "simulated device kernel requested")
+    if requested == "host":
+        return CountPlan("host", 1, "per-pair host reference requested")
+    if requested == "batch":
+        return CountPlan("batch", 1, "serial batch engine requested")
+    if requested == "parallel":
+        if n_workers < 2:
+            return CountPlan("batch", 1, "parallel requested but only one worker available")
+        if features.n_sets < min_sets:
+            return CountPlan(
+                "batch", 1,
+                f"parallel requested but {features.n_sets} sets is below the "
+                f"pool pay-off floor ({min_sets})",
+            )
+        return CountPlan("parallel", n_workers, "parallel requested")
+
+    # --- auto policy ---------------------------------------------------- #
+    if not features.byte_entries or features.r0 < 4:
+        return CountPlan(
+            "host", 1,
+            "entries are not byte-packable or ranges are sub-word; only the "
+            "per-pair reference is exact",
+        )
+    if n_pairs is not None and n_pairs <= HOST_MAX_PAIRS:
+        if features.cached_engine:
+            return CountPlan("batch", 1,
+                             "point query on an already-built batch engine")
+        return CountPlan(
+            "host", 1,
+            f"{n_pairs} pair(s) never amortise gathering the packed buffer",
+        )
+    if n_workers < 2:
+        return CountPlan("batch", 1, "single worker available")
+    if features.n_sets < min_sets:
+        return CountPlan(
+            "batch", 1,
+            f"{features.n_sets} sets is below the pool pay-off floor ({min_sets})",
+        )
+    if features.mean_words >= WIDE_WORDS_PER_SET:
+        return CountPlan(
+            "batch", 1,
+            f"wide-class heavy (mean {features.mean_words:.0f} words/set): the "
+            "SWAR pass is memory-bound, a pool adds contention not bandwidth",
+        )
+    return CountPlan("parallel", n_workers,
+                     f"{features.n_sets} sets across {n_workers} workers")
+
+
+#: Candidate-words product (n_candidates * bitmap words) below which the
+#: levelwise support counter stays serial; one AND+popcount pass this small
+#: finishes before a pool even starts.
+LEVELWISE_MIN_WORK = 1 << 22
+
+
+def plan_levelwise(
+    n_candidates: int,
+    n_words: int,
+    *,
+    workers: int | None = None,
+) -> CountPlan:
+    """Backend choice for the levelwise candidate-support counter.
+
+    Same shape of policy as :func:`plan_counts`, adapted to the bitmap
+    workload: the work is ``n_candidates x n_words`` AND+popcount lanes, so
+    the pay-off test is on that product rather than on a set count.
+    """
+    require(n_candidates >= 0, f"n_candidates must be >= 0, got {n_candidates}")
+    require(n_words >= 0, f"n_words must be >= 0, got {n_words}")
+    _, resolve_workers = _executor_policy()
+    n_workers = resolve_workers(workers)
+    if n_workers < 2:
+        return CountPlan("batch", 1, "single worker available")
+    if n_candidates * n_words < LEVELWISE_MIN_WORK:
+        return CountPlan(
+            "batch", 1,
+            f"{n_candidates} candidates x {n_words} words is below the "
+            "levelwise pool pay-off floor",
+        )
+    return CountPlan("parallel", n_workers,
+                     f"{n_candidates} candidates across {n_workers} workers")

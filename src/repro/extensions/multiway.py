@@ -37,26 +37,12 @@ __all__ = ["MultiwayResult", "multiway_intersection"]
 class MultiwayResult:
     """Result of a multi-way intersection over stored elements."""
 
-    elements: np.ndarray           #: element ids present in every queried set (per stored copies)
+    elements: np.ndarray           #: sorted, duplicate-free ids present in every queried set
     failed_involved: tuple[int, ...]  #: elements whose insertion failed somewhere (not counted)
 
     @property
     def size(self) -> int:
         return int(self.elements.size)
-
-
-def _membership_by_position(collection: BatmapCollection, pivot_elements: np.ndarray,
-                            set_index: int) -> np.ndarray:
-    """For each pivot element, does batmap ``set_index`` store it? (position/payload probe)"""
-    bm = collection.batmap(set_index)
-    family = collection.family
-    member = np.zeros(pivot_elements.size, dtype=bool)
-    for t in range(3):
-        pos = family.positions(t, pivot_elements, bm.r)
-        entries = bm.entries[t, pos]
-        payloads = family.payloads(t, pivot_elements)
-        member |= (entries.astype(np.int64) & 0x7F) == payloads
-    return member
 
 
 def multiway_intersection(
@@ -69,25 +55,56 @@ def multiway_intersection(
     whose stored elements are tested for membership in all the others.
     Choosing the smallest set as pivot is the cheapest order; this function
     does that automatically.
+
+    The probes are batched: the three permuted values and payloads of the
+    pivot elements are computed **once per hash function** and shared by
+    every queried set (a per-set probe only re-masks the permuted value with
+    that set's ``r - 1``), instead of re-applying the permutations for each
+    set.  Sets are probed in ascending size order and the candidate list
+    shrinks after each set, so a miss in a small set short-circuits the
+    larger ones.  Each intersecting element appears exactly once in
+    :attr:`MultiwayResult.elements` regardless of how many stored copies
+    matched.
     """
     indices = [int(i) for i in set_indices]
     require(len(indices) >= 2, "need at least two sets to intersect")
     require(len(set(indices)) == len(indices), "set indices must be distinct")
 
-    # Pivot on the narrowest batmap.
-    pivot = min(indices, key=lambda i: collection.batmap(i).set_size)
-    others = [i for i in indices if i != pivot]
+    # Pivot on the narrowest batmap; probe the remaining sets smallest-first
+    # so the candidate list shrinks as early as possible.
+    indices.sort(key=lambda i: collection.batmap(i).set_size)
+    pivot, others = indices[0], indices[1:]
     pivot_bm = collection.batmap(pivot)
-    pivot_elements = pivot_bm.decode_elements()
+    # decode_elements() returns a sorted, duplicate-free array: the two
+    # stored copies of each pivot element collapse to one candidate here.
+    candidates = pivot_bm.decode_elements()
 
-    keep = np.ones(pivot_elements.size, dtype=bool)
+    # One positions/payloads gather per hash function, shared across all sets.
+    family = collection.family
+    shift = np.int64(family.shift)
+    payload_mask = np.int64(collection.config.payload_mask)
+    permuted = [family.permuted(t, candidates) for t in range(3)]
+    payloads = [(permuted[t] >> shift) + 1 for t in range(3)]
+
     for j in others:
-        keep &= _membership_by_position(collection, pivot_elements, j)
+        if candidates.size == 0:
+            break
+        bm = collection.batmap(j)
+        position_mask = np.int64(bm.r - 1)
+        member = np.zeros(candidates.size, dtype=bool)
+        for t in range(3):
+            entries = bm.entries[t, permuted[t] & position_mask]
+            member |= (entries.astype(np.int64) & payload_mask) == payloads[t]
+        candidates = candidates[member]
+        permuted = [p[member] for p in permuted]
+        payloads = [p[member] for p in payloads]
 
     failed: set[int] = set()
     for i in indices:
         failed.update(collection.batmap(i).failed)
     return MultiwayResult(
-        elements=pivot_elements[keep],
+        # np.unique guarantees the exactly-once contract even if a future
+        # pivot enumeration yields per-copy candidates.
+        elements=np.unique(candidates),
         failed_involved=tuple(sorted(failed)),
     )

@@ -87,16 +87,30 @@ def run_batmap_pair_counts(
       to ``"batch"``.  Small collections (or a single available worker) fall
       back to the serial batch engine automatically.  ``workers=None``
       auto-selects from the machine's core count.
+    * ``"auto"`` — let the workload planner
+      (:func:`repro.core.plan.plan_counts`) pick between the batch engine
+      and the executor from the collection's size, width-class mix and the
+      available cores.  The simulator is never auto-selected — it models a
+      device, it does not serve requests.
     """
     require_positive(tile_size, "tile_size")
-    if compute not in ("kernel", "batch", "parallel"):
+    if compute not in ("kernel", "batch", "parallel", "auto"):
         raise ValueError(
-            f"compute must be 'kernel', 'batch' or 'parallel', got {compute!r}"
+            f"compute must be 'kernel', 'batch', 'parallel' or 'auto', got {compute!r}"
         )
     n = len(collection)
     sim = simulator or GpuSimulator(device)
     buffer = collection.device_buffer()
     sim.upload("batmaps", buffer.words)
+
+    if compute == "auto":
+        from repro.core.plan import plan_counts
+
+        plan = plan_counts(collection, workers=workers)
+        # The driver always produces a full sorted-order matrix; "host"
+        # (point-query) plans have no cheaper shape here, so they run on the
+        # batch engine.
+        compute = "parallel" if plan.backend == "parallel" else "batch"
 
     if compute == "parallel":
         # Deferred import: repro.parallel.executor itself imports the tiling

@@ -22,10 +22,13 @@ import numpy as np
 from repro.baselines.merge import intersection_size_numpy
 from repro.core.collection import BatmapCollection
 from repro.core.config import BatmapConfig, DEFAULT_CONFIG
+from repro.core.intersection import count_common
+from repro.core.plan import plan_counts
 from repro.gpu.device import DeviceSpec, GTX_285
 from repro.kernels.driver import run_batmap_pair_counts
 from repro.matrix.boolean import SparseBooleanMatrix
 from repro.utils.rng import RngLike
+from repro.utils.validation import require
 
 __all__ = [
     "multiply_dense",
@@ -60,6 +63,28 @@ def multiply_merge(a: SparseBooleanMatrix, b: SparseBooleanMatrix) -> np.ndarray
     return out
 
 
+def _membership_matrix(sets: list[np.ndarray], elements: np.ndarray) -> np.ndarray:
+    """``out[i, j]`` — does ``sets[i]`` contain ``elements[j]``? (one vectorised pass).
+
+    ``elements`` must be sorted.  The whole side is answered with a single
+    ``np.isin`` over the concatenated sets instead of one Python-level probe
+    per (set, element) pair.
+    """
+    out = np.zeros((len(sets), elements.size), dtype=bool)
+    if elements.size == 0 or not sets:
+        return out
+    lengths = np.array([s.size for s in sets], dtype=np.int64)
+    if int(lengths.sum()) == 0:
+        return out
+    flat = np.concatenate(sets)
+    owner = np.repeat(np.arange(len(sets), dtype=np.int64), lengths)
+    hit = np.isin(flat, elements)
+    if not hit.any():
+        return out
+    out[owner[hit], np.searchsorted(elements, flat[hit])] = True
+    return out
+
+
 def _repair_cross_product(
     product: np.ndarray,
     collection: BatmapCollection,
@@ -71,20 +96,38 @@ def _repair_cross_product(
     A failed insertion of inner-dimension element ``k`` into the batmap of a
     row/column set means every cross pair containing that set undercounts
     ``k`` by one if the other side holds it too.
+
+    The membership tests are grouped: one :func:`_membership_matrix` pass per
+    side answers "which failed elements does each row/column set contain",
+    replacing the former ``O(failures * rows * cols)`` Python triple loop.
+    Failed elements that never appear on both sides of the cross block are
+    skipped outright — they cannot change any entry (in particular, failures
+    recorded against sets the cross block never touches, or elements present
+    only in empty-side pairs that :func:`multiply_merge` also skips).
     """
     failures = collection.failed_insertions()
     if not failures:
         return product
+    failed_elements = np.array(sorted(failures), dtype=np.int64)
+    row_has = _membership_matrix(list(a.rows), failed_elements)
+    col_has = _membership_matrix(b.column_sets(), failed_elements)
+    # Short-circuit: a repair contribution needs the element on *both* sides.
+    active = row_has.any(axis=0) & col_has.any(axis=0)
+    if not active.any():
+        return product
     product = product.copy()
-    b_cols = b.column_sets()
-    for element, owners in failures.items():
-        owners_set = set(owners)
-        for i in range(a.n_rows):
-            if element not in a.rows[i]:
-                continue
-            for j in range(b.n_cols):
-                if element in b_cols[j] and (i in owners_set or (a.n_rows + j) in owners_set):
-                    product[i, j] += 1
+    n_rows = a.n_rows
+    for f_idx in np.nonzero(active)[0].tolist():
+        owners = np.asarray(failures[int(failed_elements[f_idx])], dtype=np.int64)
+        row_owner = np.zeros(a.n_rows, dtype=bool)
+        row_owner[owners[owners < n_rows]] = True
+        col_owner = np.zeros(b.n_cols, dtype=bool)
+        col_owner[owners[owners >= n_rows] - n_rows] = True
+        increment = (
+            (row_has[:, f_idx][:, None] & col_has[:, f_idx][None, :])
+            & (row_owner[:, None] | col_owner[None, :])
+        )
+        product += increment.astype(np.int64)
     return product
 
 
@@ -94,22 +137,45 @@ def multiply_batmap(
     *,
     config: BatmapConfig = DEFAULT_CONFIG,
     rng: RngLike = None,
+    compute: str = "auto",
+    workers: int | None = None,
 ) -> np.ndarray:
     """Witness-count product using host-side batmap comparisons.
 
     All row-sets of ``a`` and column-sets of ``b`` live over the same inner
-    dimension, so one shared hash family serves both sides.  The cross block
-    (``a``-rows x ``b``-columns) is computed by the vectorised batch engine
-    in one pass per width-class pair instead of a per-pair Python loop, and
-    failed insertions (rare) are repaired exactly.
+    dimension, so one shared hash family serves both sides.  Backend
+    selection goes through the workload planner
+    (:func:`~repro.core.plan.plan_counts`): the cross block
+    (``a``-rows x ``b``-columns) runs on the vectorised batch engine, fans
+    out to the multiprocess executor for large multi-core instances, or
+    falls back to the per-pair reference for layouts the packed engines
+    cannot represent (``payload_bits > 7``, sub-word ranges).  Failed
+    insertions (rare) are repaired exactly in every case.
     """
     _check_shapes(a, b)
+    require(compute in ("auto", "host", "batch", "parallel"),
+            f"compute must be 'auto', 'host', 'batch' or 'parallel', got {compute!r}")
     universe = a.n_cols
     sets = list(a.rows) + b.column_sets()
     collection = BatmapCollection.build(sets, universe, config=config, rng=rng)
-    product = collection.batch_counter().count_cross(
-        np.arange(a.n_rows), a.n_rows + np.arange(b.n_cols)
-    )
+    rows_idx = np.arange(a.n_rows)
+    cols_idx = a.n_rows + np.arange(b.n_cols)
+    byte_packable = collection.r0 >= 4 and config.entry_storage_bits == 8
+    plan = plan_counts(collection, requested=compute, workers=workers,
+                       n_pairs=a.n_rows * b.n_cols)
+    if plan.backend == "parallel" and byte_packable:
+        from repro.parallel.executor import ParallelPairCounter
+
+        with ParallelPairCounter(collection, workers=workers) as counter:
+            product = counter.count_cross(rows_idx, cols_idx)
+    elif plan.backend == "host" or not byte_packable:
+        product = np.empty((a.n_rows, b.n_cols), dtype=np.int64)
+        for i in range(a.n_rows):
+            bm_i = collection.batmap(int(rows_idx[i]))
+            for j in range(b.n_cols):
+                product[i, j] = count_common(bm_i, collection.batmap(int(cols_idx[j])))
+    else:
+        product = collection.batch_counter().count_cross(rows_idx, cols_idx)
     return _repair_cross_product(product, collection, a, b)
 
 

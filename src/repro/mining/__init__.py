@@ -5,11 +5,18 @@
   (preprocess → device pair counting → repair/threshold).
 * :class:`~repro.mining.itemsets.BatmapItemsetMiner` — levelwise extension to
   itemsets of arbitrary size.
+* :mod:`~repro.mining.levelwise` — vectorised candidate-support counting over
+  a packed transaction bitmap (the level >= 3 engine, serial or parallel).
 * :mod:`~repro.mining.postprocess` — count reordering and failed-insertion repair.
 * :mod:`~repro.mining.support` — result containers with phase timing.
 """
 
 from repro.mining.itemsets import BatmapItemsetMiner, ItemsetMiningResult
+from repro.mining.levelwise import (
+    TransactionBitmap,
+    count_candidate_supports,
+    scan_supports,
+)
 from repro.mining.pair_mining import BatmapPairMiner
 from repro.mining.postprocess import reorder_counts, repair_pair_counts, upper_triangle_pairs
 from repro.mining.preprocess import PreprocessedData, preprocess
@@ -19,6 +26,9 @@ __all__ = [
     "BatmapPairMiner",
     "BatmapItemsetMiner",
     "ItemsetMiningResult",
+    "TransactionBitmap",
+    "count_candidate_supports",
+    "scan_supports",
     "PreprocessedData",
     "preprocess",
     "reorder_counts",

@@ -17,19 +17,41 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.config import BatmapConfig, DEFAULT_CONFIG
+from repro.core.intersection import count_common
+from repro.core.plan import plan_counts
 from repro.datasets.transactions import TransactionDatabase
 from repro.gpu.device import DeviceSpec, GTX_285
 from repro.kernels.driver import run_batmap_pair_counts
 from repro.mining.postprocess import reorder_counts, repair_pair_counts
 from repro.mining.preprocess import preprocess
 from repro.mining.support import MiningReport, PairSupports
-from repro.parallel.executor import ParallelPairCounter, recommended_backend
+from repro.parallel.executor import ParallelPairCounter
 from repro.utils.rng import RngLike
 from repro.utils.timer import PhaseTimer
 from repro.utils.validation import require
 
 __all__ = ["BatmapPairMiner"]
+
+
+def _host_counts_sorted(collection) -> np.ndarray:
+    """Dense count matrix in width-sorted order via the per-pair reference.
+
+    The fallback counting phase for layouts the packed engines cannot
+    represent (``payload_bits > 7``): exact for every configured width.
+    """
+    batmaps = collection.batmaps_sorted
+    n = len(batmaps)
+    out = np.zeros((n, n), dtype=np.int64)
+    for a in range(n):
+        out[a, a] = batmaps[a].stored_count
+        for b in range(a + 1, n):
+            c = count_common(batmaps[a], batmaps[b])
+            out[a, b] = c
+            out[b, a] = c
+    return out
 
 
 @dataclass
@@ -55,7 +77,10 @@ class BatmapPairMiner:
         ``"parallel"`` distributes the same tiles across a process pool over
         a shared-memory copy of the packed buffer
         (:class:`~repro.parallel.executor.ParallelPairCounter`), falling back
-        to the serial batch engine for small inputs.
+        to the serial batch engine for small inputs;
+        ``"auto"`` defers the batch/parallel choice to the workload planner
+        (:func:`repro.core.plan.plan_counts`) — the simulator is never
+        auto-selected.
     workers:
         Worker processes for ``compute="parallel"``; ``None`` auto-selects
         from the machine's core count.
@@ -78,8 +103,9 @@ class BatmapPairMiner:
     ) -> MiningReport:
         """Compute the support of every item pair; return results plus phase timings."""
         require(min_support >= 1, f"min_support must be >= 1, got {min_support}")
-        require(self.compute in ("device", "host", "parallel"),
-                f"compute must be 'device', 'host' or 'parallel', got {self.compute!r}")
+        require(self.compute in ("device", "host", "parallel", "auto"),
+                f"compute must be 'device', 'host', 'parallel' or 'auto', "
+                f"got {self.compute!r}")
         timers = PhaseTimer()
 
         with timers.time("preprocess"):
@@ -92,10 +118,23 @@ class BatmapPairMiner:
             )
 
         backend = self.compute
-        if self.compute == "parallel":
+        if self.compute == "auto":
+            # The planner returns "host" only for layouts the packed engines
+            # cannot represent (the miner never asks for point queries).
+            backend = plan_counts(pre.collection, workers=self.workers).backend
+        elif self.compute == "parallel":
             # Small inputs are not worth a pool — drop to the batch engine.
-            if recommended_backend(pre.collection, workers=self.workers) == "batch":
-                backend = "batch"
+            backend = plan_counts(pre.collection, requested="parallel",
+                                  workers=self.workers).backend
+        elif self.compute == "host":
+            backend = "batch"
+        # Entries wider than one byte (payload_bits > 7) have no packed word
+        # form: both SWAR engines would raise, only the per-pair reference is
+        # exact.  (compute="device" keeps raising — a layout the simulated
+        # kernel genuinely cannot represent should not be silently softened.)
+        if (backend in ("batch", "parallel")
+                and pre.collection.config.entry_storage_bits != 8):
+            backend = "host"
 
         if backend == "parallel":
             # Real multiprocess counting phase, wall-clock timed end to end
@@ -104,8 +143,12 @@ class BatmapPairMiner:
                 with ParallelPairCounter(pre.collection, workers=self.workers) as counter:
                     counts_sorted = counter.counts_sorted()
             result = None
-        elif backend in ("host", "batch"):
-            backend = "batch"
+        elif backend == "host":
+            # Per-pair reference loop (exact for every payload width).
+            with timers.time("count"):
+                counts_sorted = _host_counts_sorted(pre.collection)
+            result = None
+        elif backend == "batch":
             # Host counting phase: the vectorised batch engine, wall-clock timed.
             with timers.time("count"):
                 counts_sorted = pre.collection.batch_counter().counts_sorted()

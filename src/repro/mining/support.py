@@ -85,7 +85,9 @@ class MiningReport:
     tiles: int = 0
     #: Which engine produced the counts: "kernel" (simulated device),
     #: "batch" (serial host engine — also the small-input fallback of
-    #: compute="parallel") or "parallel" (multiprocess executor).
+    #: compute="parallel"), "parallel" (multiprocess executor) or "host"
+    #: (per-pair reference — the fallback for payload widths the packed
+    #: engines cannot represent).
     count_backend: str = "kernel"
 
     @property

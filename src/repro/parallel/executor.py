@@ -114,16 +114,16 @@ def resolve_worker_count(workers=None) -> int:
 def recommended_backend(collection, *, workers=None) -> str:
     """``"parallel"`` when a pool would pay off for this collection, else ``"batch"``.
 
-    The policy every integration point shares: fall back to the serial batch
-    engine when only one worker is available or the collection is below the
-    :data:`PARALLEL_MIN_SETS` floor (pool startup plus result transfer would
-    dominate the counting work).
+    Kept as the executor-local convenience wrapper; the decision itself lives
+    in the workload planner (:func:`repro.core.plan.plan_counts` with
+    ``requested="parallel"``), so every integration point — the kernel
+    driver, the miner, the collection API, the CLI — shares one policy:
+    fall back to the serial batch engine when only one worker is available
+    or the collection is below the :data:`PARALLEL_MIN_SETS` floor.
     """
-    if resolve_worker_count(workers) < 2:
-        return "batch"
-    if len(collection) < PARALLEL_MIN_SETS:
-        return "batch"
-    return "parallel"
+    from repro.core.plan import plan_counts
+
+    return plan_counts(collection, requested="parallel", workers=workers).backend
 
 
 # --------------------------------------------------------------------------- #

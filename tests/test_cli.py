@@ -111,6 +111,116 @@ class TestComputeFlags:
         assert f"(merge) : {exact}" in text
 
 
+class TestMineItemsets:
+    def test_max_size_defaults_to_pairs(self, fimi_file):
+        args = build_parser().parse_args(["mine", str(fimi_file)])
+        assert args.max_size == 2
+
+    def test_mine_itemsets_auto_compute(self, fimi_file):
+        out = io.StringIO()
+        assert main(["mine", str(fimi_file), "--max-size", "4",
+                     "--compute", "auto", "--min-support", "2"], out=out) == 0
+        text = out.getvalue()
+        assert "frequent itemsets up to size" in text
+        assert "extension level(s)" in text
+        # fixture: {0, 1, 2} and {0, 2, 3} both appear twice
+        assert "(0, 1, 2)  support=2" in text
+        assert "(0, 2, 3)  support=2" in text
+
+    def test_mine_itemsets_matches_scan_engine(self, fimi_file):
+        from repro.datasets.fimi_io import read_fimi as _read
+        from repro.mining.itemsets import BatmapItemsetMiner
+        from repro.mining.pair_mining import BatmapPairMiner
+
+        db = _read(fimi_file)
+        reference = BatmapItemsetMiner(
+            BatmapPairMiner(compute="host"), max_size=4, level_compute="scan",
+        ).mine(db, min_support=2, rng=0)
+        out = io.StringIO()
+        main(["mine", str(fimi_file), "--max-size", "4", "--compute", "host",
+              "--min-support", "2"], out=out)
+        n_expected = len(reference.itemsets)
+        assert f"{n_expected} frequent itemsets" in out.getvalue()
+
+    def test_max_size_requires_batmap_engine(self, fimi_file):
+        out = io.StringIO()
+        assert main(["mine", str(fimi_file), "--max-size", "3",
+                     "--engine", "apriori"], out=out) == 2
+        assert "requires the batmap engine" in out.getvalue()
+
+    def test_invalid_max_size(self, fimi_file):
+        out = io.StringIO()
+        assert main(["mine", str(fimi_file), "--max-size", "0"], out=out) == 2
+
+    def test_max_size_one_restricts_to_singletons(self, fimi_file):
+        out = io.StringIO()
+        assert main(["mine", str(fimi_file), "--max-size", "1",
+                     "--compute", "host", "--min-support", "2"], out=out) == 0
+        text = out.getvalue()
+        assert "up to size 1" in text
+        # no pair (two-element) itemsets may be printed
+        assert "size 2" not in text
+        assert "(2,)  support=5" in text  # item 2 appears in all 5 transactions
+
+    def test_mine_auto_compute_pairs(self, fimi_file):
+        out = io.StringIO()
+        assert main(["mine", str(fimi_file), "--compute", "auto",
+                     "--min-support", "2"], out=out) == 0
+        text = out.getvalue()
+        assert "count backend: batch" in text
+        assert "(1, 2)  support=3" in text
+
+
+class TestIntersectMultiway:
+    def _write(self, tmp_path, name, values):
+        path = tmp_path / name
+        path.write_text(" ".join(str(x) for x in values))
+        return path
+
+    def test_three_sets_route_multiway(self, tmp_path):
+        rng = np.random.default_rng(5)
+        sets = [rng.choice(1000, size, replace=False) for size in (200, 300, 400)]
+        paths = [self._write(tmp_path, f"s{i}.txt", s) for i, s in enumerate(sets)]
+        out = io.StringIO()
+        assert main(["intersect", *map(str, paths)], out=out) == 0
+        text = out.getvalue()
+        exact = len(set(sets[0].tolist()) & set(sets[1].tolist()) & set(sets[2].tolist()))
+        assert "batched multiway probes" in text
+        assert f"(batmap): {exact}" in text
+        assert f"(merge) : {exact}" in text
+
+    def test_multiway_flag_with_two_sets(self, tmp_path):
+        pa = self._write(tmp_path, "a.txt", [1, 2, 3, 10])
+        pb = self._write(tmp_path, "b.txt", [2, 3, 11])
+        out = io.StringIO()
+        assert main(["intersect", str(pa), str(pb), "--multiway"], out=out) == 0
+        text = out.getvalue()
+        assert "batched multiway probes" in text
+        assert "(batmap): 2" in text
+
+    def test_intersect_auto_compute(self, tmp_path):
+        rng = np.random.default_rng(9)
+        a = rng.choice(2000, 400, replace=False)
+        b = rng.choice(2000, 350, replace=False)
+        pa = self._write(tmp_path, "a.txt", a)
+        pb = self._write(tmp_path, "b.txt", b)
+        out = io.StringIO()
+        assert main(["intersect", str(pa), str(pb), "--compute", "auto"],
+                    out=out) == 0
+        text = out.getvalue()
+        exact = len(set(a.tolist()) & set(b.tolist()))
+        assert "count backend: host" in text
+        assert f"(batmap): {exact}" in text
+
+    def test_empty_set_multiway(self, tmp_path):
+        pa = self._write(tmp_path, "a.txt", [1, 2])
+        pb = self._write(tmp_path, "b.txt", [])
+        pc = self._write(tmp_path, "c.txt", [2, 3])
+        out = io.StringIO()
+        assert main(["intersect", str(pa), str(pb), str(pc)], out=out) == 0
+        assert "intersection size: 0" in out.getvalue()
+
+
 class TestGenerate:
     @pytest.mark.parametrize("kind,extra", [
         ("density", ["--items", "30", "--density", "0.1", "--total-items", "500"]),

@@ -136,3 +136,54 @@ class TestMultiwayWithStandardBatmaps:
         if result.failed_involved:
             return
         assert set(result.elements.tolist()) == exact_multi_intersection(sets)
+
+    @given(st.integers(0, 2**31), st.integers(2, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_property_elements_unique_and_sorted(self, seed, k):
+        """Each intersecting element appears exactly once — never once per
+        stored copy — even on overfull instances with failed insertions."""
+        rng = np.random.default_rng(seed)
+        m = 300
+        sets = [np.sort(rng.choice(m, int(rng.integers(20, 200)), replace=False))
+                for _ in range(k)]
+        # range_multiplier 1.0 provokes failed insertions on some draws
+        from repro.core.config import BatmapConfig
+
+        coll = BatmapCollection.build(
+            sets, m, config=BatmapConfig(range_multiplier=1.0, max_loop=8),
+            rng=seed % 5)
+        result = multiway_intersection(coll, list(range(k)))
+        assert np.array_equal(result.elements, np.unique(result.elements))
+
+    def test_batched_probe_matches_per_set_reference(self):
+        """The one-gather-per-hash-function path equals the seed's per-set probe."""
+        rng = np.random.default_rng(17)
+        m = 600
+        sets = [np.sort(rng.choice(m, size, replace=False))
+                for size in (40, 220, 350, 180)]
+        coll = BatmapCollection.build(sets, m, rng=3)
+        family = coll.family
+        pivot = min(range(4), key=lambda i: coll.batmap(i).set_size)
+        pivot_elements = coll.batmap(pivot).decode_elements()
+        keep = np.ones(pivot_elements.size, dtype=bool)
+        for j in (i for i in range(4) if i != pivot):
+            bm = coll.batmap(j)
+            member = np.zeros(pivot_elements.size, dtype=bool)
+            for t in range(3):
+                pos = family.positions(t, pivot_elements, bm.r)
+                payloads = family.payloads(t, pivot_elements)
+                entries = bm.entries[t, pos]
+                member |= (entries.astype(np.int64)
+                           & coll.config.payload_mask) == payloads
+            keep &= member
+        expected = np.unique(pivot_elements[keep])
+        result = multiway_intersection(coll, [0, 1, 2, 3])
+        assert np.array_equal(result.elements, expected)
+
+    def test_empty_intersection_short_circuits(self):
+        m = 128
+        sets = [np.arange(0, 64), np.arange(64, 128), np.arange(0, 128, 2)]
+        coll = BatmapCollection.build(sets, m, rng=1)
+        result = multiway_intersection(coll, [0, 1, 2])
+        assert result.size == 0
+        assert result.elements.size == 0

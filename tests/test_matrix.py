@@ -92,6 +92,89 @@ class TestMultiply:
         b = SparseBooleanMatrix.random(20, 6, density, rng=seed + 7)
         assert np.array_equal(multiply_batmap(a, b, rng=seed % 13), multiply_dense(a, b))
 
+    def test_rejects_unknown_compute(self):
+        a, b = self._pair(3)
+        with pytest.raises(ValueError):
+            multiply_batmap(a, b, compute="quantum")
+
+    @pytest.mark.parametrize("compute", ["auto", "host", "batch", "parallel"])
+    def test_all_backends_match_dense(self, compute):
+        a, b = self._pair(4)
+        kwargs = {"workers": 2} if compute == "parallel" else {}
+        assert np.array_equal(multiply_batmap(a, b, rng=0, compute=compute, **kwargs),
+                              multiply_dense(a, b))
+
+    def test_wide_payload_layout_routes_to_host(self):
+        """payload_bits > 7 has no packed form; the planner must still produce
+        an exact product through the per-pair reference."""
+        from repro.core.config import BatmapConfig
+
+        a, b = self._pair(5, shape_a=(6, 15), shape_b=(15, 5))
+        product = multiply_batmap(a, b, rng=0,
+                                  config=BatmapConfig(payload_bits=9))
+        assert np.array_equal(product, multiply_dense(a, b))
+
+
+class TestRepairCrossProduct:
+    """The vectorised failed-insertion repair (one np.isin pass per side)."""
+
+    def _overfull_config(self):
+        from repro.core.config import BatmapConfig
+
+        # range_multiplier 1.0 + tiny MaxLoop provoke failed insertions
+        return BatmapConfig(range_multiplier=1.0, max_loop=4)
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_property_repair_is_exact_under_failures(self, seed):
+        config = self._overfull_config()
+        a = SparseBooleanMatrix.random(10, 40, 0.35, rng=seed)
+        b = SparseBooleanMatrix.random(40, 8, 0.35, rng=seed + 1)
+        product = multiply_batmap(a, b, rng=seed % 7, config=config)
+        assert np.array_equal(product, multiply_dense(a, b))
+
+    def test_repair_runs_with_failures_present(self):
+        """At least one seed must actually exercise the repair path."""
+        from repro.core.collection import BatmapCollection
+
+        config = self._overfull_config()
+        for seed in range(40):
+            a = SparseBooleanMatrix.random(10, 40, 0.4, rng=seed)
+            b = SparseBooleanMatrix.random(40, 8, 0.4, rng=seed + 1)
+            sets = list(a.rows) + b.column_sets()
+            coll = BatmapCollection.build(sets, 40, config=config, rng=seed % 7)
+            if coll.failed_insertions():
+                assert np.array_equal(
+                    multiply_batmap(a, b, rng=seed % 7, config=config),
+                    multiply_dense(a, b))
+                return
+        pytest.fail("no seed produced failed insertions; tighten the config")
+
+    def test_empty_side_pairs_short_circuit(self):
+        """Failures touching elements absent from one side add nothing —
+        mirroring multiply_merge's empty-set skip."""
+        from repro.matrix.multiply import _repair_cross_product
+
+        class FakeCollection:
+            def failed_insertions(self):
+                # element 39 failed somewhere, but no b-column contains it
+                return {39: [0]}
+
+        a = SparseBooleanMatrix(2, 40, [np.array([39]), np.array([], dtype=np.int64)])
+        b = SparseBooleanMatrix(40, 2, [np.array([], dtype=np.int64)] * 40)
+        product = np.zeros((2, 2), dtype=np.int64)
+        repaired = _repair_cross_product(product, FakeCollection(), a, b)
+        assert repaired is product  # untouched, not even copied
+        assert np.array_equal(repaired, np.zeros((2, 2), dtype=np.int64))
+
+    def test_membership_matrix_one_pass(self):
+        from repro.matrix.multiply import _membership_matrix
+
+        sets = [np.array([1, 5, 9]), np.array([], dtype=np.int64), np.array([5])]
+        elements = np.array([5, 9])
+        out = _membership_matrix(sets, elements)
+        assert out.tolist() == [[True, True], [False, False], [True, False]]
+
 
 class TestJoinProject:
     def test_small_example(self):
