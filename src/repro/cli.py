@@ -87,6 +87,16 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--workers", type=int, default=None,
                       help="worker processes for --compute parallel "
                            "(default: auto from the core count)")
+    mine.add_argument("--build-compute",
+                      choices=["auto", "host", "bulk", "parallel"],
+                      default="auto",
+                      help="batmap construction backend: serial per-element "
+                           "inserter, vectorized round-based bulk engine, "
+                           "multiprocess bulk build over set shards, or auto "
+                           "(the workload planner picks)")
+    mine.add_argument("--build-workers", type=int, default=None,
+                      help="worker processes for --build-compute parallel "
+                           "(default: auto from the core count)")
     mine.add_argument("--max-size", type=int, default=2,
                       help="largest itemset size to mine (batmap engine only); "
                            "sizes > 2 run the levelwise bitmap extension")
@@ -114,6 +124,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "planner pick")
     inter.add_argument("--workers", type=int, default=None,
                        help="worker processes for --compute parallel")
+    inter.add_argument("--build-compute",
+                       choices=["auto", "host", "bulk", "parallel"],
+                       default="auto",
+                       help="batmap construction backend "
+                            "(see `repro mine --help`)")
     inter.add_argument("--multiway", action="store_true",
                        help="force the multi-way batmap probe path "
                             "(implied when more than two sets are given)")
@@ -142,7 +157,9 @@ def _cmd_mine(args: argparse.Namespace, out) -> int:
 
     start = time.perf_counter()
     if args.engine == "batmap":
-        miner = BatmapPairMiner(compute=args.compute, workers=args.workers)
+        miner = BatmapPairMiner(compute=args.compute, workers=args.workers,
+                                build_compute=args.build_compute,
+                                build_workers=args.build_workers)
         report = miner.mine(db, min_support=args.min_support, rng=args.seed)
         pairs = report.supports.frequent_pairs(args.min_support)
         timing = "modelled" if report.count_backend == "kernel" else "wall clock"
@@ -154,6 +171,8 @@ def _cmd_mine(args: argparse.Namespace, out) -> int:
         if args.compute == "parallel" and report.count_backend == "batch":
             backend += " (parallel fell back: input below the pool pay-off floor)"
         print(backend, file=out)
+        print(_build_backend_line(report.build_backend, args.build_compute),
+              file=out)
     elif args.engine == "apriori":
         pairs = AprioriMiner().mine_pairs(db.transactions, db.n_items, args.min_support)
     elif args.engine == "fpgrowth":
@@ -170,14 +189,27 @@ def _cmd_mine(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _build_backend_line(build_backend: str, requested: str) -> str:
+    """The ``build backend:`` output line, with the demotion notice."""
+    line = f"build backend: {build_backend}"
+    if requested == "parallel" and build_backend == "bulk":
+        line += " (parallel fell back: input below the build pool pay-off floor)"
+    return line
+
+
 def _mine_itemsets(args: argparse.Namespace, db, out) -> int:
     """Levelwise itemset mining (``--max-size > 2``) through the bitmap engine."""
     start = time.perf_counter()
-    pair_miner = BatmapPairMiner(compute=args.compute, workers=args.workers)
+    pair_miner = BatmapPairMiner(compute=args.compute, workers=args.workers,
+                                 build_compute=args.build_compute,
+                                 build_workers=args.build_workers)
     miner = BatmapItemsetMiner(pair_miner, max_size=args.max_size,
                                workers=args.workers)
     result = miner.mine(db, min_support=args.min_support, rng=args.seed)
     elapsed = time.perf_counter() - start
+    if result.pair_report is not None:
+        print(_build_backend_line(result.pair_report.build_backend,
+                                  args.build_compute), file=out)
 
     print(f"{len(result.itemsets)} frequent itemsets up to size "
           f"{result.max_size()} (support >= {args.min_support}) "
@@ -223,7 +255,8 @@ def _cmd_intersect_multiway(args: argparse.Namespace, sets, universe, out) -> in
     family = HashFamily.create(universe, shift=config.shift_for_universe(universe),
                                rng=args.seed)
     collection = BatmapCollection.build(sets, universe, config=config,
-                                        family=family, sort_by_size=False)
+                                        family=family, sort_by_size=False,
+                                        build_compute=args.build_compute)
     result = multiway_intersection(collection, list(range(len(sets))))
     exact = sets[0]
     for s in sets[1:]:
@@ -231,6 +264,8 @@ def _cmd_intersect_multiway(args: argparse.Namespace, sets, universe, out) -> in
     sizes = ", ".join(str(s.size) for s in sets)
     print(f"{len(sets)} sets of sizes [{sizes}], universe = {universe}", file=out)
     print("count backend: host (batched multiway probes)", file=out)
+    print(_build_backend_line(collection.build_plan.backend,
+                              args.build_compute), file=out)
     print(f"intersection size (batmap): {result.size}", file=out)
     print(f"intersection size (merge) : {exact.size}", file=out)
     total_bytes = sum(collection.batmap(i).memory_bytes for i in range(len(sets)))
@@ -261,7 +296,10 @@ def _cmd_intersect(args: argparse.Namespace, out) -> int:
         # produced the count (the collection path clamps r >= 4).
         collection = BatmapCollection.build([set_a, set_b], universe,
                                             config=config, family=family,
-                                            sort_by_size=False)
+                                            sort_by_size=False,
+                                            build_compute=args.build_compute)
+        print(_build_backend_line(collection.build_plan.backend,
+                                  args.build_compute), file=out)
         bm_a, bm_b = collection.batmap(0), collection.batmap(1)
         if args.compute == "auto":
             plan = plan_counts(collection, workers=args.workers, n_pairs=1)

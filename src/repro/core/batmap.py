@@ -78,12 +78,18 @@ class Batmap:
     stats: PlacementStats | None = None
 
     def __post_init__(self) -> None:
-        require(self.entries.shape == (3, self.r),
+        # Plain conditionals, not require(): bulk construction creates one
+        # Batmap per set and the eagerly formatted dtype/shape messages were
+        # a measurable slice of whole-collection build time.
+        if self.entries.shape != (3, self.r):
+            raise ValueError(
                 f"entries must have shape (3, {self.r}), got {self.entries.shape}")
-        require(self.entries.dtype == self.config.entry_dtype,
+        if self.entries.dtype != self.config.entry_dtype:
+            raise ValueError(
                 f"entries must be {self.config.entry_dtype} for "
                 f"payload_bits={self.config.payload_bits}, got {self.entries.dtype}")
-        require(self.r >= 1, "range must be at least 1")
+        if self.r < 1:
+            raise ValueError("range must be at least 1")
 
     # ------------------------------------------------------------------ #
     # Construction

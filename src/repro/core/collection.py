@@ -34,6 +34,21 @@ from repro.utils.validation import require, require_positive
 __all__ = ["DeviceBuffer", "BatmapCollection"]
 
 
+def _dedup_sorted(s) -> np.ndarray:
+    """``np.unique`` with a fast path for already-sorted duplicate-free input.
+
+    Tidlists — the mining pipeline's sets — arrive strictly ascending, so
+    the O(n log n) sort inside ``np.unique`` is pure overhead for them; a
+    single vectorized monotonicity check replaces it.  The returned array
+    is never mutated downstream, so passing the caller's array through on
+    the fast path is safe.
+    """
+    arr = np.asarray(s, dtype=np.int64).ravel()
+    if arr.size < 2 or bool(np.all(arr[1:] > arr[:-1])):
+        return arr
+    return np.unique(arr)
+
+
 @dataclass(frozen=True)
 class DeviceBuffer:
     """Flat packed representation of every batmap, as transferred to the device.
@@ -91,6 +106,9 @@ class BatmapCollection:
         self.rank[order] = np.arange(order.size)
         self._device_buffer: DeviceBuffer | None = None
         self._batch_counter: BatchPairCounter | None = None
+        #: The construction planner's verdict for this collection (set by
+        #: :meth:`build`; ``None`` for hand-assembled collections).
+        self.build_plan = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -105,11 +123,26 @@ class BatmapCollection:
         rng: RngLike = None,
         sort_by_size: bool = True,
         family: HashFamily | None = None,
+        build_compute: str = "auto",
+        build_workers: int | None = None,
     ) -> "BatmapCollection":
         """Build batmaps for every set in ``sets``.
 
         ``sets[i]`` is an array-like of element ids in ``[0, universe_size)``.
+
+        ``build_compute`` selects the construction engine through the
+        workload planner (:func:`~repro.core.plan.plan_build`): ``"host"``
+        is the serial per-element inserter (the oracle), ``"bulk"`` the
+        round-based vectorized engine (:mod:`repro.core.bulk_build`),
+        ``"parallel"`` the multiprocess bulk builder over set shards
+        (:mod:`repro.parallel.build`; demoted to ``"bulk"`` below its
+        pay-off floor), and ``"auto"`` (default) lets the planner pick.
+        All engines yield collections with identical pair counts on every
+        counting path; the bulk engines additionally pre-assemble the
+        packed device buffer, so :meth:`device_buffer` is free afterwards.
         """
+        from repro.core.plan import plan_build  # avoid an import cycle at module load
+
         require_positive(universe_size, "universe_size")
         require(len(sets) > 0, "cannot build an empty collection")
         if family is None:
@@ -119,19 +152,99 @@ class BatmapCollection:
             require(family.universe_size == universe_size,
                     "family universe size does not match universe_size")
 
-        sizes = np.array([len(np.unique(np.asarray(s, dtype=np.int64))) for s in sets])
+        # Deduplicate each set exactly once; sizes, ranges and the build
+        # loop below all reuse the same arrays (the seed ran np.unique
+        # twice per set — one pass for sizes, another inside the loop).
+        dedup = [_dedup_sorted(s) for s in sets]
+        for elements in dedup:
+            if elements.size and (elements[0] < 0
+                                  or elements[-1] >= universe_size):
+                raise ValueError(
+                    "element id out of range for the hash family's universe")
+        sizes = np.array([d.size for d in dedup], dtype=np.int64)
         order = np.argsort(sizes, kind="stable") if sort_by_size else np.arange(len(sets))
+        # Keep the packed-word path available even for tiny sets.  Sizes
+        # repeat heavily across a large collection, so the range arithmetic
+        # is memoised per distinct size.
+        range_cache: dict[int, int] = {}
+        rs = []
+        for size in sizes.tolist():
+            r = range_cache.get(size)
+            if r is None:
+                r = range_cache[size] = max(
+                    4, config.range_for_size(size, universe_size))
+            rs.append(r)
 
-        batmaps: list[Batmap] = []
-        for k in order.tolist():
-            elements = np.unique(np.asarray(sets[k], dtype=np.int64))
-            # Keep the packed-word path available even for tiny sets.
-            r = max(4, config.range_for_size(int(elements.size), universe_size))
-            placement = place_set(elements, family, r, config)
-            batmaps.append(
-                Batmap.from_placement(placement, family, config, set_size=int(elements.size))
-            )
-        return cls(family, config, batmaps, np.asarray(order, dtype=np.int64), universe_size)
+        plan = plan_build(len(sets), int(sizes.sum()),
+                          requested=build_compute, workers=build_workers)
+        if plan.backend == "host":
+            batmaps: list[Batmap] = []
+            for k in order.tolist():
+                placement = place_set(dedup[k], family, rs[k], config,
+                                      assume_unique=True)
+                batmaps.append(Batmap.from_placement(
+                    placement, family, config, set_size=int(sizes[k])))
+            collection = cls(family, config, batmaps,
+                             np.asarray(order, dtype=np.int64), universe_size)
+            collection.build_plan = plan
+            return collection
+        return cls._build_bulk(dedup, rs, family, config, order,
+                               universe_size, plan)
+
+    @classmethod
+    def _build_bulk(cls, dedup, rs, family, config, order, universe_size,
+                    plan) -> "BatmapCollection":
+        """Assemble the collection from the bulk (or parallel-bulk) engine.
+
+        Batmap entries stay views into the chunk-stacked arrays the encoder
+        produced, and the same stacks are packed straight into the
+        :class:`DeviceBuffer` (identical bytes to the lazy per-set packing
+        of :meth:`device_buffer`) — no per-set re-stacking ever runs for
+        bulk-built collections.
+        """
+        from repro.core.bulk_build import (
+            bulk_build_chunks,
+            chunk_built_sets,
+            device_word_layout,
+            pack_group_words,
+            sets_from_chunks,
+        )
+
+        sorted_sets = [dedup[k] for k in order.tolist()]
+        sorted_rs = [rs[k] for k in order.tolist()]
+        if plan.backend == "parallel":
+            from repro.parallel.build import parallel_bulk_build_sets
+
+            built = parallel_bulk_build_sets(sorted_sets, sorted_rs, family,
+                                             config, workers=plan.workers)
+            # Re-stack per width-group chunk for packing (one pass of copies;
+            # the in-process path below reuses the encoder's stacks as-is).
+            pack_jobs = chunk_built_sets(built)
+        else:
+            chunks = bulk_build_chunks(sorted_sets, sorted_rs, family, config)
+            built = sets_from_chunks(chunks, len(sorted_sets))
+            pack_jobs = [(chunk.indices, chunk.entries) for chunk in chunks]
+
+        batmaps = [
+            Batmap(family=family, config=config, r=b.r, entries=b.entries,
+                   set_size=int(sorted_sets[k].size), failed=b.failed,
+                   stats=b.stats)
+            for k, b in enumerate(built)
+        ]
+        collection = cls(family, config, batmaps,
+                         np.asarray(order, dtype=np.int64), universe_size)
+        collection.build_plan = plan
+
+        if config.entry_storage_bits == 8:
+            r0 = min(b.r for b in built)
+            widths, offsets, total = device_word_layout([b.r for b in built])
+            words = np.zeros(total, dtype=np.uint32)
+            for slots, entries in pack_jobs:
+                packed, _ = pack_group_words(entries, r0)
+                words[offsets[slots][:, None] + np.arange(packed.shape[1])] = packed
+            collection._device_buffer = DeviceBuffer(
+                words=words, offsets=offsets, widths=widths, r0=r0)
+        return collection
 
     # ------------------------------------------------------------------ #
     # Access
@@ -276,29 +389,21 @@ class BatmapCollection:
         16-wide coalesced reads of the pair-count kernel start on an aligned
         segment — the alignment requirement the paper's best-practice guide
         [19] calls out.  The padding words are never read (folding uses the
-        true width), they only shift the next batmap's offset.
+        true width), they only shift the next batmap's offset.  The buffer
+        geometry comes from :func:`~repro.core.bulk_build.device_word_layout`
+        — the same function the bulk build path assembles its (pre-built,
+        byte-identical) buffer from.
         """
         if self._device_buffer is None:
+            from repro.core.bulk_build import device_word_layout
+
             r0 = self.r0
-            chunks = []
-            widths = []
-            offsets = []
-            cursor = 0
-            for bm in self._batmaps_sorted:
-                words = pack_bytes_to_words(bm.device_array(r0))
-                offsets.append(cursor)
-                widths.append(words.size)
-                padded_len = ((words.size + 15) // 16) * 16
-                if padded_len != words.size:
-                    words = np.concatenate(
-                        [words, np.zeros(padded_len - words.size, dtype=np.uint32)]
-                    )
-                chunks.append(words)
-                cursor += padded_len
+            widths, offsets, total = device_word_layout(
+                [bm.r for bm in self._batmaps_sorted])
+            words = np.zeros(total, dtype=np.uint32)
+            for k, bm in enumerate(self._batmaps_sorted):
+                packed = pack_bytes_to_words(bm.device_array(r0))
+                words[offsets[k]:offsets[k] + packed.size] = packed
             self._device_buffer = DeviceBuffer(
-                words=np.concatenate(chunks),
-                offsets=np.asarray(offsets, dtype=np.int64),
-                widths=np.asarray(widths, dtype=np.int64),
-                r0=r0,
-            )
+                words=words, offsets=offsets, widths=widths, r0=r0)
         return self._device_buffer

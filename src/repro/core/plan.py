@@ -47,12 +47,18 @@ from repro.utils.validation import require
 
 __all__ = [
     "BACKENDS",
+    "BUILD_BACKENDS",
     "WIDE_WORDS_PER_SET",
     "HOST_MAX_PAIRS",
+    "BULK_BUILD_MIN_ELEMENTS",
+    "PARALLEL_BUILD_MIN_SETS",
+    "PARALLEL_BUILD_MIN_ELEMENTS",
     "PlanFeatures",
     "CountPlan",
+    "BuildPlan",
     "plan_counts",
     "plan_levelwise",
+    "plan_build",
 ]
 
 #: Backends a plan can name, slowest-setup-last.
@@ -208,6 +214,117 @@ def plan_counts(
         )
     return CountPlan("parallel", n_workers,
                      f"{features.n_sets} sets across {n_workers} workers")
+
+
+# --------------------------------------------------------------------------- #
+# Construction (bulk-build) planning
+# --------------------------------------------------------------------------- #
+
+#: Backends for collection construction: the per-element serial inserter
+#: (the oracle), the round-based vectorized bulk engine
+#: (:mod:`repro.core.bulk_build`), and the multiprocess bulk builder over
+#: set shards (:mod:`repro.parallel.build`).
+BUILD_BACKENDS = ("host", "bulk", "parallel")
+
+#: Total deduplicated elements below which construction stays on the serial
+#: per-element inserter: the bulk engine's group setup (concatenation, flat
+#: slot tables, claim arrays) costs a few vector passes that a handful of
+#: tiny sets never amortises — and keeping small builds on the oracle keeps
+#: their placements bit-identical to the seed's.
+BULK_BUILD_MIN_ELEMENTS = 2048
+
+#: Set-count floor for the multiprocess bulk builder; below it the shards
+#: are too few/small for pool startup plus per-worker hash-family transfer.
+PARALLEL_BUILD_MIN_SETS = 1024
+
+#: Element floor for the multiprocess bulk builder.  Construction work per
+#: element is light (a few vector ops per round), so the pool only pays off
+#: once the element volume is large; below this the in-process bulk engine
+#: finishes before the workers warm up.
+PARALLEL_BUILD_MIN_ELEMENTS = 1 << 21
+
+
+@dataclass(frozen=True)
+class BuildPlan:
+    """The construction planner's verdict: which build engine to run."""
+
+    backend: str   #: one of :data:`BUILD_BACKENDS`
+    workers: int   #: resolved worker count (1 for the serial backends)
+    reason: str    #: one-line explanation, surfaced by the CLI
+
+    def __post_init__(self) -> None:
+        require(self.backend in BUILD_BACKENDS,
+                f"backend must be one of {BUILD_BACKENDS}, got {self.backend!r}")
+
+
+def plan_build(
+    n_sets: int,
+    total_elements: int,
+    *,
+    requested: str = "auto",
+    workers: int | None = None,
+) -> BuildPlan:
+    """Choose the construction backend for one collection build.
+
+    Parameters
+    ----------
+    n_sets / total_elements:
+        The collection shape: number of sets and the sum of their
+        deduplicated sizes (known before any batmap exists).
+    requested:
+        ``"auto"`` applies the policy below.  Explicit names are honoured,
+        with the same demotion rule the counting planner uses:
+        ``"parallel"`` drops to ``"bulk"`` when the pool cannot pay off
+        (single worker, or below the build floors).
+
+    Policy, in order: tiny builds (below
+    :data:`BULK_BUILD_MIN_ELEMENTS` total elements) stay on the serial
+    ``host`` inserter; large multi-core builds (at least
+    :data:`PARALLEL_BUILD_MIN_SETS` sets *and*
+    :data:`PARALLEL_BUILD_MIN_ELEMENTS` elements, two or more workers) fan
+    out to ``parallel``; everything else runs the in-process ``bulk``
+    engine.  All three produce collections whose pair counts are identical
+    on every counting path.
+    """
+    require(n_sets >= 0, f"n_sets must be >= 0, got {n_sets}")
+    require(total_elements >= 0,
+            f"total_elements must be >= 0, got {total_elements}")
+    require(requested == "auto" or requested in BUILD_BACKENDS,
+            f"requested must be 'auto' or one of {BUILD_BACKENDS}, "
+            f"got {requested!r}")
+    _, resolve_workers = _executor_policy()
+    n_workers = resolve_workers(workers)
+
+    if requested == "host":
+        return BuildPlan("host", 1, "serial per-element inserter requested")
+    if requested == "bulk":
+        return BuildPlan("bulk", 1, "vectorized bulk engine requested")
+    if requested == "parallel":
+        if n_workers < 2:
+            return BuildPlan("bulk", 1,
+                             "parallel requested but only one worker available")
+        if n_sets < PARALLEL_BUILD_MIN_SETS or total_elements < PARALLEL_BUILD_MIN_ELEMENTS:
+            return BuildPlan(
+                "bulk", 1,
+                f"parallel requested but {n_sets} sets / {total_elements} "
+                "elements is below the build pool pay-off floor",
+            )
+        return BuildPlan("parallel", n_workers, "parallel bulk build requested")
+
+    # --- auto policy ---------------------------------------------------- #
+    if total_elements < BULK_BUILD_MIN_ELEMENTS:
+        return BuildPlan(
+            "host", 1,
+            f"{total_elements} elements is below the bulk pay-off floor "
+            f"({BULK_BUILD_MIN_ELEMENTS})",
+        )
+    if (n_workers >= 2 and n_sets >= PARALLEL_BUILD_MIN_SETS
+            and total_elements >= PARALLEL_BUILD_MIN_ELEMENTS):
+        return BuildPlan("parallel", n_workers,
+                         f"{n_sets} sets across {n_workers} workers")
+    return BuildPlan("bulk", 1,
+                     f"{n_sets} sets / {total_elements} elements on the "
+                     "vectorized bulk engine")
 
 
 #: Candidate-words product (n_candidates * bitmap words) below which the

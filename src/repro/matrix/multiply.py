@@ -139,6 +139,8 @@ def multiply_batmap(
     rng: RngLike = None,
     compute: str = "auto",
     workers: int | None = None,
+    build_compute: str = "auto",
+    build_workers: int | None = None,
 ) -> np.ndarray:
     """Witness-count product using host-side batmap comparisons.
 
@@ -151,13 +153,20 @@ def multiply_batmap(
     falls back to the per-pair reference for layouts the packed engines
     cannot represent (``payload_bits > 7``, sub-word ranges).  Failed
     insertions (rare) are repaired exactly in every case.
+
+    ``build_compute`` independently selects the *construction* engine for
+    the row/column batmaps (:func:`~repro.core.plan.plan_build`): the bulk
+    engines build the whole collection with vectorized round-based cuckoo
+    placement instead of one element at a time.
     """
     _check_shapes(a, b)
     require(compute in ("auto", "host", "batch", "parallel"),
             f"compute must be 'auto', 'host', 'batch' or 'parallel', got {compute!r}")
     universe = a.n_cols
     sets = list(a.rows) + b.column_sets()
-    collection = BatmapCollection.build(sets, universe, config=config, rng=rng)
+    collection = BatmapCollection.build(sets, universe, config=config, rng=rng,
+                                        build_compute=build_compute,
+                                        build_workers=build_workers)
     rows_idx = np.arange(a.n_rows)
     cols_idx = a.n_rows + np.arange(b.n_cols)
     byte_packable = collection.r0 >= 4 and config.entry_storage_bits == 8
@@ -188,6 +197,7 @@ def multiply_batmap_device(
     device: DeviceSpec = GTX_285,
     tile_size: int = 2048,
     compute: str = "kernel",
+    build_compute: str = "auto",
 ) -> tuple[np.ndarray, float]:
     """Witness-count product through the simulated GPU kernel.
 
@@ -201,7 +211,8 @@ def multiply_batmap_device(
     _check_shapes(a, b)
     universe = a.n_cols
     sets = list(a.rows) + b.column_sets()
-    collection = BatmapCollection.build(sets, universe, config=config, rng=rng)
+    collection = BatmapCollection.build(sets, universe, config=config, rng=rng,
+                                        build_compute=build_compute)
     result = run_batmap_pair_counts(collection, device=device, tile_size=tile_size,
                                     compute=compute)
     # reorder device (sorted) counts back to original set indices

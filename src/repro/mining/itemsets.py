@@ -33,6 +33,7 @@ from repro.mining.levelwise import (
     scan_supports,
 )
 from repro.mining.pair_mining import BatmapPairMiner
+from repro.mining.support import MiningReport
 from repro.utils.rng import RngLike
 from repro.utils.validation import require
 
@@ -46,6 +47,9 @@ class ItemsetMiningResult:
     itemsets: dict[tuple[int, ...], int] = field(default_factory=dict)
     pair_phase_seconds: float = 0.0
     extension_levels: int = 0
+    #: The pair phase's full report (count/build backends, phase timings);
+    #: ``None`` only for hand-assembled results.
+    pair_report: MiningReport | None = None
 
     def of_size(self, k: int) -> dict[tuple[int, ...], int]:
         return {key: value for key, value in self.itemsets.items() if len(key) == k}
@@ -101,6 +105,7 @@ class BatmapItemsetMiner:
 
         report = self.pair_miner.mine(database, min_support=min_support, rng=rng)
         result.pair_phase_seconds = report.total_seconds
+        result.pair_report = report
 
         # Level 1: item supports live on the diagonal of the repaired matrix.
         supports = report.supports

@@ -64,6 +64,8 @@ def preprocess(
     config: BatmapConfig = DEFAULT_CONFIG,
     rng: RngLike = None,
     filter_items: bool = True,
+    build_compute: str = "auto",
+    build_workers: int | None = None,
 ) -> PreprocessedData:
     """Build the batmap collection for a transaction database.
 
@@ -73,6 +75,13 @@ def preprocess(
         Items with support below this are removed before batmaps are built
         (when ``filter_items`` is true), mirroring the preprocessing every
         competing miner performs.
+    build_compute:
+        Construction engine for the batmap collection, routed through
+        :func:`~repro.core.plan.plan_build`: ``"host"`` (serial per-element
+        inserter), ``"bulk"`` (vectorized round-based engine),
+        ``"parallel"`` (multiprocess bulk build) or ``"auto"`` (planner
+        picks).  Tidlist collections are exactly the Figure 6/7 workload
+        whose preprocessing phase the bulk engine accelerates.
     """
     require(min_support >= 1, f"min_support must be >= 1, got {min_support}")
     if filter_items and min_support > 1:
@@ -89,6 +98,8 @@ def preprocess(
         universe_size=universe,
         config=config,
         rng=rng,
+        build_compute=build_compute,
+        build_workers=build_workers,
     )
     return PreprocessedData(
         collection=collection,

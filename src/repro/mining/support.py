@@ -89,6 +89,10 @@ class MiningReport:
     #: (per-pair reference — the fallback for payload widths the packed
     #: engines cannot represent).
     count_backend: str = "kernel"
+    #: Which engine built the batmap collection: "host" (serial per-element
+    #: inserter), "bulk" (vectorized round-based engine) or "parallel"
+    #: (multiprocess bulk builder).
+    build_backend: str = "host"
 
     @property
     def preprocess_seconds(self) -> float:

@@ -7,9 +7,14 @@ import repro.parallel.executor as executor_module
 from repro.core.collection import BatmapCollection
 from repro.core.config import BatmapConfig
 from repro.core.plan import (
+    BULK_BUILD_MIN_ELEMENTS,
+    PARALLEL_BUILD_MIN_ELEMENTS,
+    PARALLEL_BUILD_MIN_SETS,
     WIDE_WORDS_PER_SET,
+    BuildPlan,
     CountPlan,
     PlanFeatures,
+    plan_build,
     plan_counts,
     plan_levelwise,
 )
@@ -137,3 +142,50 @@ class TestPlanLevelwise:
     def test_validation(self):
         with pytest.raises(ValueError):
             plan_levelwise(-1, 10)
+
+
+class TestPlanBuild:
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            plan_build(10, 100, requested="device")
+        with pytest.raises(ValueError):
+            BuildPlan("batch", 1, "counting backend is not a build backend")
+
+    def test_explicit_requests_honoured(self):
+        assert plan_build(2, 10, requested="host").backend == "host"
+        assert plan_build(2, 10, requested="bulk").backend == "bulk"
+
+    def test_parallel_demotes_below_floor(self):
+        plan = plan_build(4, 100, requested="parallel", workers=4)
+        assert plan.backend == "bulk"
+        assert "pay-off floor" in plan.reason
+
+    def test_parallel_demotes_on_single_worker(self):
+        plan = plan_build(PARALLEL_BUILD_MIN_SETS,
+                          PARALLEL_BUILD_MIN_ELEMENTS,
+                          requested="parallel", workers=1)
+        assert plan.backend == "bulk"
+
+    def test_parallel_honoured_above_floor(self):
+        plan = plan_build(PARALLEL_BUILD_MIN_SETS,
+                          PARALLEL_BUILD_MIN_ELEMENTS,
+                          requested="parallel", workers=3)
+        assert plan.backend == "parallel"
+        assert plan.workers == 3
+
+    def test_auto_tiny_stays_host(self):
+        assert plan_build(8, BULK_BUILD_MIN_ELEMENTS - 1).backend == "host"
+
+    def test_auto_medium_goes_bulk(self):
+        assert plan_build(64, BULK_BUILD_MIN_ELEMENTS).backend == "bulk"
+
+    def test_auto_large_multicore_goes_parallel(self):
+        plan = plan_build(PARALLEL_BUILD_MIN_SETS,
+                          PARALLEL_BUILD_MIN_ELEMENTS, workers=4)
+        assert plan.backend == "parallel"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_build(-1, 10)
+        with pytest.raises(ValueError):
+            plan_build(1, -10)
