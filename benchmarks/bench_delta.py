@@ -1,0 +1,64 @@
+"""Print a one-line wall-time delta per benchmark artifact vs a previous run.
+
+Usage::
+
+    python benchmarks/bench_delta.py CURRENT_DIR [PREVIOUS_DIR]
+
+Reads every ``BENCH_*.json`` in ``CURRENT_DIR`` and, when ``PREVIOUS_DIR``
+holds an artifact of the same name, prints the relative wall-time change.
+Comparisons are only made when both runs used the same scale knobs — a
+delta across different scales would be noise dressed up as signal.  The
+script never fails the build: it is a reporting step, regressions gate
+through the benchmarks' own assertions.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def load_artifacts(directory: Path) -> dict:
+    out = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            out[path.stem] = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path.name}: unreadable ({exc})")
+    return out
+
+
+def delta_line(name: str, current: dict, previous: dict | None) -> str:
+    wall = current.get("wall_seconds", 0.0)
+    line = f"{name}: {wall:.3f}s"
+    if previous is None:
+        return line + " (no previous run)"
+    if previous.get("scale") != current.get("scale"):
+        return line + " (previous run used different scale knobs; not comparable)"
+    prev_wall = previous.get("wall_seconds", 0.0)
+    if not prev_wall:
+        return line + " (previous wall time missing)"
+    change = 100.0 * (wall - prev_wall) / prev_wall
+    return line + f" (prev {prev_wall:.3f}s, {change:+.1f}%)"
+
+
+def main(argv: list[str]) -> int:
+    if not argv or len(argv) > 2:
+        print(__doc__)
+        return 2
+    current_dir = Path(argv[0])
+    previous_dir = Path(argv[1]) if len(argv) == 2 else None
+    current = load_artifacts(current_dir) if current_dir.is_dir() else {}
+    if not current:
+        print(f"no BENCH_*.json artifacts in {current_dir}")
+        return 0
+    previous = (load_artifacts(previous_dir)
+                if previous_dir is not None and previous_dir.is_dir() else {})
+    for name, artifact in current.items():
+        print(delta_line(name, artifact, previous.get(name)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

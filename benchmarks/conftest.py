@@ -1,0 +1,58 @@
+"""Benchmark-suite fixtures: every ``-m bench`` test emits a JSON artifact.
+
+The autouse fixture below times each benchmark test wall-clock and writes a
+``BENCH_<test_name>.json`` record (scale knobs, wall time, throughput, git
+SHA — see :class:`benchmarks.harness.BenchArtifact`) into the artifact
+directory, so CI's bench-smoke job has machine-readable history to upload
+and diff without every benchmark file carrying boilerplate.  Benchmarks
+that want richer records (speed-up ratios, peak memory, series points)
+request the ``bench_artifact`` fixture and ``add()`` fields to the same
+record.
+
+Artifacts are written for passing tests only — a failed benchmark's numbers
+would poison the baseline the delta report compares against.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+
+import pytest
+
+from benchmarks.harness import BenchArtifact
+
+
+def _artifact_name(nodeid: str) -> str:
+    """A filesystem-safe artifact name from a pytest node id."""
+    name = nodeid.split("::", 1)[-1]
+    return re.sub(r"[^A-Za-z0-9_.-]+", "_", name).strip("_")
+
+
+@pytest.fixture
+def bench_artifact(request) -> BenchArtifact:
+    """The current benchmark test's artifact record (add fields freely)."""
+    return request.node._bench_artifact
+
+
+@pytest.hookimpl(tryfirst=True, hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Stash each phase's report on the item so teardown can see the outcome."""
+    outcome = yield
+    report = outcome.get_result()
+    setattr(item, f"_bench_report_{report.when}", report)
+
+
+@pytest.fixture(autouse=True)
+def _emit_bench_artifact(request):
+    if request.node.get_closest_marker("bench") is None:
+        yield
+        return
+    artifact = BenchArtifact(_artifact_name(request.node.nodeid))
+    request.node._bench_artifact = artifact
+    start = time.perf_counter()
+    yield
+    artifact.wall_seconds = time.perf_counter() - start
+    report = getattr(request.node, "_bench_report_call", None)
+    if report is not None and report.passed:
+        artifact.write()

@@ -16,9 +16,13 @@ reproduction.
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import subprocess
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.baselines.apriori import AprioriMiner
 from repro.baselines.eclat import EclatMiner
@@ -38,6 +42,10 @@ __all__ = [
     "run_fpgrowth_pairs",
     "run_eclat_pairs",
     "TIME_LIMIT_SECONDS",
+    "ARTIFACT_DIR",
+    "BenchArtifact",
+    "git_sha",
+    "scale_knobs",
 ]
 
 #: Total instance size (item occurrences); the paper uses 10_000_000.
@@ -47,6 +55,91 @@ BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", 0.01))
 #: The paper cancels runs after 1800 CPU seconds; the scaled suite uses a
 #: proportionally smaller censoring limit.
 TIME_LIMIT_SECONDS = float(os.environ.get("REPRO_BENCH_TIME_LIMIT", 20.0))
+
+
+# --------------------------------------------------------------------------- #
+# Machine-readable benchmark artifacts (BENCH_<name>.json)
+# --------------------------------------------------------------------------- #
+#: Where ``BENCH_<name>.json`` files land; CI uploads this directory from
+#: the bench-smoke job and diffs it against the previous run's cache.
+ARTIFACT_DIR = Path(os.environ.get("REPRO_BENCH_ARTIFACT_DIR", "bench-artifacts"))
+
+
+def git_sha() -> str:
+    """Current commit SHA: ``GITHUB_SHA`` in CI, ``git rev-parse`` locally."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def scale_knobs() -> dict:
+    """Every ``REPRO_BENCH_*`` knob in effect, plus the resolved defaults.
+
+    Recorded in every artifact so a stored run is interpretable on its own —
+    a 2x wall-time delta means nothing without knowing both runs' scales.
+    """
+    knobs = {
+        "total_items": BENCH_TOTAL_ITEMS,
+        "scale": BENCH_SCALE,
+        "time_limit_seconds": TIME_LIMIT_SECONDS,
+    }
+    for key, value in sorted(os.environ.items()):
+        if key.startswith("REPRO_BENCH_"):
+            knobs[key] = value
+    return knobs
+
+
+@dataclass
+class BenchArtifact:
+    """One benchmark run's machine-readable record.
+
+    Created per ``-m bench`` test by the autouse fixture in
+    ``benchmarks/conftest.py`` (which fills ``wall_seconds`` and writes the
+    file on teardown); benchmarks deepen the record through the
+    ``bench_artifact`` fixture — ``add(series_name, value)`` for headline
+    numbers, arbitrary ``extra`` keys for anything else.
+    """
+
+    name: str
+    wall_seconds: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    def add(self, key: str, value) -> None:
+        self.extra[key] = value
+
+    def payload(self) -> dict:
+        payload = {
+            "name": self.name,
+            "git_sha": git_sha(),
+            "recorded_unix": time.time(),
+            "python": platform.python_version(),
+            "scale": scale_knobs(),
+            "wall_seconds": self.wall_seconds,
+        }
+        # Throughput only when the test declared what it actually processed
+        # (``add("total_items_processed", n)``) — a generic knob divided by
+        # the wall time would fabricate a series that moves with unrelated
+        # configuration.
+        processed = self.extra.get("total_items_processed")
+        if processed and self.wall_seconds > 0:
+            payload["throughput_items_per_second"] = processed / self.wall_seconds
+        payload.update(self.extra)
+        return payload
+
+    def write(self, directory: Path | None = None) -> Path:
+        directory = Path(directory) if directory is not None else ARTIFACT_DIR
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_{self.name}.json"
+        path.write_text(json.dumps(self.payload(), indent=1, sort_keys=True))
+        return path
 
 
 @dataclass

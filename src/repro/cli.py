@@ -13,6 +13,13 @@ subcommands cover the workflows a downstream user actually runs:
     ``--max-size k`` with ``k > 2`` extends the batmap engine levelwise to
     itemsets of up to ``k`` items (supports counted by the vectorised
     bitmap engine of :mod:`repro.mining.levelwise`).
+    ``--stream --memory-budget B`` mines out-of-core: the file is streamed
+    in bounded chunks, batmap shards sized to the budget are spilled to
+    disk and counted with memory-mapped re-attach — bit-identical pairs to
+    the in-memory run (``--memory-budget`` alone lets the workload planner
+    demote to this pipeline only when the packed buffers would not fit).
+    ``--pairs-out FILE`` writes every frequent pair in a sorted,
+    engine-independent text format for output comparisons.
 
 ``repro generate``
     Generate a synthetic dataset (the paper's Bernoulli generator, the Quest
@@ -46,6 +53,7 @@ from repro.core.batmap import build_batmap
 from repro.core.collection import BatmapCollection
 from repro.core.config import BatmapConfig
 from repro.core.hashing import HashFamily
+from repro.core.errors import DataFormatError, DatasetError
 from repro.core.intersection import count_common
 from repro.core.plan import plan_counts
 from repro.parallel.executor import recommended_backend
@@ -100,6 +108,22 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--max-size", type=int, default=2,
                       help="largest itemset size to mine (batmap engine only); "
                            "sizes > 2 run the levelwise bitmap extension")
+    mine.add_argument("--stream", action="store_true",
+                      help="mine out-of-core: stream the file, build batmap "
+                           "shards sized to --memory-budget, spill them to "
+                           "disk and count shard pairs with bounded resident "
+                           "memory (batmap pairs only; --compute device is "
+                           "treated as auto)")
+    mine.add_argument("--memory-budget", default=None, metavar="SIZE",
+                      help="resident-set ceiling, e.g. 64M or 2G.  With "
+                           "--stream it sizes the shards (default 256M); "
+                           "without it the workload planner demotes to the "
+                           "sharded pipeline when the packed buffers would "
+                           "not fit")
+    mine.add_argument("--pairs-out", type=Path, default=None, metavar="FILE",
+                      help="also write every frequent pair as 'i j support' "
+                           "lines (sorted; engine-independent format for "
+                           "output comparisons)")
 
     gen = sub.add_parser("generate", help="generate a synthetic dataset in FIMI format")
     gen.add_argument("output", type=Path)
@@ -146,6 +170,19 @@ def _cmd_mine(args: argparse.Namespace, out) -> int:
         print(f"--max-size other than 2 requires the batmap engine, "
               f"got {args.engine!r}", file=out)
         return 2
+    if args.stream or args.memory_budget is not None:
+        if args.engine != "batmap" or args.max_size != 2:
+            print("--stream/--memory-budget require the batmap engine with "
+                  "--max-size 2", file=out)
+            return 2
+        try:
+            if args.stream or _budget_demotes_to_stream(args, out):
+                return _mine_stream(args, out)
+        except ValueError as exc:
+            # Unparseable --memory-budget, or one too small for the fixed
+            # residents: a configuration error, not a crash.
+            print(f"error: {exc}", file=out)
+            return 2
     db = read_fimi(args.input, max_transactions=args.max_transactions)
     print(f"loaded {db.n_transactions} transactions, {db.n_items} items, "
           f"{db.total_items} occurrences (density {db.density:.4f})", file=out)
@@ -181,11 +218,92 @@ def _cmd_mine(args: argparse.Namespace, out) -> int:
         pairs = EclatMiner().mine_pairs(db.transactions, db.n_items, args.min_support)
     elapsed = time.perf_counter() - start
 
+    _report_pairs(pairs, args, out, elapsed, args.engine)
+    return 0
+
+
+def _report_pairs(pairs, args: argparse.Namespace, out, elapsed: float,
+                  engine_tag: str) -> None:
+    """Shared result tail of every mine path: summary, top-N, pairs file.
+
+    One implementation for the in-memory and streaming paths — the CI
+    streaming smoke compares their ``--pairs-out`` files byte for byte.
+    """
     print(f"{len(pairs)} frequent pairs (support >= {args.min_support}) "
-          f"in {elapsed:.3f}s wall clock [{args.engine}]", file=out)
+          f"in {elapsed:.3f}s wall clock [{engine_tag}]", file=out)
     ranked = sorted(pairs.items(), key=lambda kv: (-kv[1], kv[0]))[:args.top]
     for (i, j), support in ranked:
         print(f"  ({i}, {j})  support={support}", file=out)
+    _maybe_write_pairs(pairs, args.pairs_out, out)
+
+
+def _maybe_write_pairs(pairs, path, out) -> None:
+    """Write every frequent pair as sorted ``i j support`` lines (optional)."""
+    if path is None:
+        return
+    lines = [f"{i} {j} {support}" for (i, j), support in sorted(pairs.items())]
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+    print(f"wrote {len(lines)} pairs to {path}", file=out)
+
+
+def _budget_demotes_to_stream(args: argparse.Namespace, out) -> bool:
+    """Planner routing for ``--memory-budget`` without ``--stream``.
+
+    One cheap statistics pass projects the packed-buffer size; the build
+    planner demotes to the sharded pipeline only when it would not fit
+    under the budget — otherwise the ordinary in-memory path runs.
+    """
+    from repro.core.config import DEFAULT_CONFIG
+    from repro.core.plan import plan_build
+    from repro.core.sharded import set_packed_bytes
+    from repro.datasets.streaming import scan_fimi_stats
+    from repro.utils.memory import parse_memory_size
+
+    budget = parse_memory_size(args.memory_budget)
+    stats = scan_fimi_stats(args.input, max_transactions=args.max_transactions)
+    supports = stats.item_supports
+    if args.min_support > 1:
+        supports = supports[supports >= args.min_support]
+    if supports.size == 0 or stats.n_transactions == 0:
+        return False  # let the in-memory path report the empty result/error
+    packed = int(set_packed_bytes(supports, max(1, stats.n_transactions),
+                                  DEFAULT_CONFIG).sum())
+    plan = plan_build(supports.size, int(supports.sum()),
+                      requested=args.build_compute, memory_budget=budget,
+                      packed_bytes=packed)
+    if args.build_compute == "auto" and plan.backend == "sharded":
+        print(f"plan: {plan.reason}; demoting to the sharded pipeline", file=out)
+        return True
+    return False
+
+
+def _mine_stream(args: argparse.Namespace, out) -> int:
+    """Out-of-core mining (``--stream`` / planner-demoted ``--memory-budget``)."""
+    budget = args.memory_budget if args.memory_budget is not None else "256M"
+    compute = "auto" if args.compute == "device" else args.compute
+    miner = BatmapPairMiner(compute=compute, workers=args.workers,
+                            build_compute=args.build_compute,
+                            build_workers=args.build_workers)
+    start = time.perf_counter()
+    report = miner.mine_stream(
+        args.input,
+        min_support=args.min_support,
+        rng=args.seed,
+        memory_budget=budget,
+        max_transactions=args.max_transactions,
+    )
+    pairs = report.supports.frequent_pairs(args.min_support)
+    elapsed = time.perf_counter() - start
+    print(f"streamed {args.input} out-of-core "
+          f"(memory budget {budget}, {report.batmap_bytes} packed bytes spilled)",
+          file=out)
+    print(f"phases: preprocess {report.preprocess_seconds:.3f}s, "
+          f"count {report.counting_seconds:.5f}s (wall clock), "
+          f"postprocess {report.postprocess_seconds:.3f}s, "
+          f"failed insertions {report.failed_insertions}", file=out)
+    print(f"count backend: {report.count_backend}", file=out)
+    print(f"build backend: {report.build_backend}", file=out)
+    _report_pairs(pairs, args, out, elapsed, "batmap, sharded")
     return 0
 
 
@@ -246,7 +364,10 @@ def _cmd_generate(args: argparse.Namespace, out) -> int:
 
 def _read_id_file(path: Path) -> np.ndarray:
     tokens = path.read_text().split()
-    return np.unique(np.array([int(t) for t in tokens], dtype=np.int64))
+    try:
+        return np.unique(np.array([int(t) for t in tokens], dtype=np.int64))
+    except ValueError as exc:
+        raise DataFormatError(f"{path}: non-integer token in set file") from exc
 
 
 def _cmd_intersect_multiway(args: argparse.Namespace, sets, universe, out) -> int:
@@ -332,15 +453,24 @@ def _cmd_intersect(args: argparse.Namespace, out) -> int:
 
 # --------------------------------------------------------------------------- #
 def main(argv: list[str] | None = None, out=None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Malformed input surfaces as one ``error:`` line and exit code 2 — the
+    dataset readers raise :class:`~repro.core.errors.DatasetError` with the
+    source and line, never a bare ``ValueError`` traceback.
+    """
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
-    if args.command == "mine":
-        return _cmd_mine(args, out)
-    if args.command == "generate":
-        return _cmd_generate(args, out)
-    if args.command == "intersect":
-        return _cmd_intersect(args, out)
+    try:
+        if args.command == "mine":
+            return _cmd_mine(args, out)
+        if args.command == "generate":
+            return _cmd_generate(args, out)
+        if args.command == "intersect":
+            return _cmd_intersect(args, out)
+    except DatasetError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
     raise AssertionError("unreachable")  # pragma: no cover
 
 

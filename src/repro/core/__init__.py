@@ -11,7 +11,9 @@ Public entry points:
 * :class:`~repro.core.batch.BatchPairCounter` — vectorised all-pairs /
   pairs-list / top-k counting over a whole collection (the host hot path).
 * :func:`~repro.core.plan.plan_counts` — the workload planner that picks a
-  counting backend (host / batch / parallel / kernel) per request.
+  counting backend (host / batch / parallel / kernel / sharded) per request.
+* :class:`~repro.core.sharded.ShardedCollection` — out-of-core collections:
+  build shard by shard, spill packed buffers to disk, re-attach memory-mapped.
 """
 
 from repro.core.batch import BatchPairCounter, WidthClass, WidthClassIndex
@@ -23,13 +25,16 @@ from repro.core.errors import (
     BatmapError,
     CapacityError,
     DataFormatError,
+    DatasetError,
     DeviceError,
     InsertionFailure,
     KernelLaunchError,
     LayoutError,
     ReproError,
     SharedMemoryError,
+    SpillFormatError,
 )
+from repro.core.sharded import ShardedCollection, ShardedCollectionBuilder
 from repro.core.hashing import (
     ArrayPermutation,
     FeistelPermutation,
@@ -93,5 +98,9 @@ __all__ = [
     "DeviceError",
     "KernelLaunchError",
     "SharedMemoryError",
+    "DatasetError",
     "DataFormatError",
+    "SpillFormatError",
+    "ShardedCollection",
+    "ShardedCollectionBuilder",
 ]

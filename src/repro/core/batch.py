@@ -316,6 +316,45 @@ class WidthClassIndex:
                 out[np.ix_(np.nonzero(row_mask)[0], np.nonzero(col_mask)[0])] = block
         return out
 
+    def cross_index(self, other: "WidthClassIndex", row_slots=None, col_slots=None) -> np.ndarray:
+        """Rectangular counts: rows of *this* buffer against columns of *another*.
+
+        The cross-shard primitive of the out-of-core pipeline
+        (:mod:`repro.core.sharded`): two collections spilled as separate
+        packed buffers are compared without ever concatenating them — rows
+        are gathered from each side's own (possibly memory-mapped) words.
+        Correctness requires both buffers to be interleaved with the *same*
+        block granularity ``r0`` (the spill format pins a collection-wide
+        ``r0`` for exactly this reason) and every pair of widths to nest;
+        the nesting is checked here, the shared ``r0`` is the caller's
+        contract.  With ``other is self`` this degenerates to
+        :meth:`cross_slots`.
+        """
+        row_slots = (np.arange(self.n_slots) if row_slots is None
+                     else np.asarray(row_slots, dtype=np.int64).ravel())
+        col_slots = (np.arange(other.n_slots) if col_slots is None
+                     else np.asarray(col_slots, dtype=np.int64).ravel())
+        out = np.zeros((row_slots.size, col_slots.size), dtype=np.int64)
+        if row_slots.size == 0 or col_slots.size == 0:
+            return out
+        merged = np.unique(np.concatenate([self.class_widths, other.class_widths]))
+        for small, large in zip(merged[:-1], merged[1:]):
+            require(int(large) % int(small) == 0,
+                    f"cross-buffer widths {int(large)} and {int(small)} do not nest; "
+                    "both shards must be packed from the same nested range family")
+        for ci_idx in np.unique(self.class_of[row_slots]).tolist():
+            row_mask = self.class_of[row_slots] == ci_idx
+            a = self._rows(row_slots[row_mask], ci_idx)
+            for cj_idx in np.unique(other.class_of[col_slots]).tolist():
+                col_mask = other.class_of[col_slots] == cj_idx
+                b = other._rows(col_slots[col_mask], cj_idx)
+                if a.shape[1] >= b.shape[1]:
+                    block = self._folded_counts(a, b)
+                else:
+                    block = self._folded_counts(b, a).T
+                out[np.ix_(np.nonzero(row_mask)[0], np.nonzero(col_mask)[0])] = block
+        return out
+
     def pairwise_slots(self, a_slots, b_slots) -> np.ndarray:
         """Aligned counts: slot ``a_slots[k]`` intersected with ``b_slots[k]``.
 

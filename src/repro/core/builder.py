@@ -148,15 +148,17 @@ class _Inserter:
         self.rows = np.full((3, r), EMPTY, dtype=np.int64)
         self.max_loop = config.effective_max_loop(r)
         self.stats = PlacementStats()
-        # slots[x] = (p0, p1, p2): the one legal position of x in each table.
-        positions = [family.positions(t, elements, r) for t in range(3)]
-        self._slots: dict[int, tuple[int, int, int]] = {
-            int(x): (int(positions[0][i]), int(positions[1][i]), int(positions[2][i]))
-            for i, x in enumerate(elements.tolist())
-        }
+        # positions[t, i] is the one legal slot of elements[i] in table t.
+        # Elements arrive sorted duplicate-free (place_set guarantees it),
+        # so a binary search resolves an element to its row — the seed kept
+        # a dict of per-element Python 3-tuples instead, ~250 B of object
+        # overhead per element that dominated a host build's working set.
+        self._elements = elements
+        self._positions = np.stack([family.positions(t, elements, r)
+                                    for t in range(3)])
 
     def _slot(self, table: int, x: int) -> int:
-        return self._slots[x][table]
+        return int(self._positions[table, np.searchsorted(self._elements, x)])
 
     def insert_once(self, x: int) -> int:
         """Insert one copy of ``x``; return :data:`EMPTY` on success or the nestless element."""

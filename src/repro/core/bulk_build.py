@@ -388,9 +388,17 @@ def bulk_place_sets(
     return out
 
 
-def _group_chunks(n_sets: int, r: int) -> list[tuple[int, int]]:
-    """Contiguous set ranges keeping each chunk within the slot budget."""
-    per_chunk = max(1, GROUP_SLOT_BUDGET // (3 * r))
+def _group_chunks(n_sets: int, r: int, slot_budget: int | None = None) -> list[tuple[int, int]]:
+    """Contiguous set ranges keeping each chunk within the slot budget.
+
+    ``slot_budget`` overrides :data:`GROUP_SLOT_BUDGET` when a caller must
+    bound the working set tighter than the cache-friendliness default — the
+    out-of-core pipeline derives it from its resident-set ceiling.  A chunk
+    never goes below one set: a single placement's tables are the engine's
+    memory floor.
+    """
+    budget = GROUP_SLOT_BUDGET if slot_budget is None else slot_budget
+    per_chunk = max(1, budget // (3 * r))
     return [(lo, min(lo + per_chunk, n_sets))
             for lo in range(0, n_sets, per_chunk)]
 
@@ -484,6 +492,8 @@ def bulk_build_chunks(
     rs: list[int],
     family: HashFamily,
     config: BatmapConfig = DEFAULT_CONFIG,
+    *,
+    slot_budget: int | None = None,
 ) -> list[BulkChunk]:
     """Build every set with the bulk engine, grouped by hash range.
 
@@ -505,7 +515,7 @@ def bulk_build_chunks(
         by_range.setdefault(int(r), []).append(k)
     chunks: list[BulkChunk] = []
     for r, members in by_range.items():
-        for lo, hi in _group_chunks(len(members), r):
+        for lo, hi in _group_chunks(len(members), r, slot_budget):
             chunk = members[lo:hi]
             group = bulk_place_group([sets[k] for k in chunk], family, r, config)
             failed = group.failed_lists()

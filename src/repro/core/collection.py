@@ -125,6 +125,7 @@ class BatmapCollection:
         family: HashFamily | None = None,
         build_compute: str = "auto",
         build_workers: int | None = None,
+        memory_budget: int | None = None,
     ) -> "BatmapCollection":
         """Build batmaps for every set in ``sets``.
 
@@ -140,6 +141,11 @@ class BatmapCollection:
         All engines yield collections with identical pair counts on every
         counting path; the bulk engines additionally pre-assemble the
         packed device buffer, so :meth:`device_buffer` is free afterwards.
+
+        ``memory_budget`` (bytes) tightens the bulk engine's group chunking
+        so its slot tables respect a resident-set ceiling — placements are
+        per-set independent, so the budget changes working-set size only,
+        never a byte of the output.
         """
         from repro.core.plan import plan_build  # avoid an import cycle at module load
 
@@ -189,11 +195,11 @@ class BatmapCollection:
             collection.build_plan = plan
             return collection
         return cls._build_bulk(dedup, rs, family, config, order,
-                               universe_size, plan)
+                               universe_size, plan, memory_budget)
 
     @classmethod
     def _build_bulk(cls, dedup, rs, family, config, order, universe_size,
-                    plan) -> "BatmapCollection":
+                    plan, memory_budget=None) -> "BatmapCollection":
         """Assemble the collection from the bulk (or parallel-bulk) engine.
 
         Batmap entries stay views into the chunk-stacked arrays the encoder
@@ -221,7 +227,14 @@ class BatmapCollection:
             # the in-process path below reuses the encoder's stacks as-is).
             pack_jobs = chunk_built_sets(built)
         else:
-            chunks = bulk_build_chunks(sorted_sets, sorted_rs, family, config)
+            # The bulk engine keeps roughly six 8-byte per-slot arrays alive
+            # while a group places (~45 B per slot measured); a budget caps
+            # the slots per chunk so the placement working set stays near a
+            # quarter of the ceiling.
+            slot_budget = (None if memory_budget is None
+                           else max(1, memory_budget // 192))
+            chunks = bulk_build_chunks(sorted_sets, sorted_rs, family, config,
+                                       slot_budget=slot_budget)
             built = sets_from_chunks(chunks, len(sorted_sets))
             pack_jobs = [(chunk.indices, chunk.entries) for chunk in chunks]
 

@@ -44,5 +44,19 @@ class SharedMemoryError(DeviceError):
     """Raised when a work group over-allocates or misuses shared memory."""
 
 
-class DataFormatError(ReproError):
+class DatasetError(ReproError):
+    """Base class for dataset-layer errors (readers, containers, spill files).
+
+    Catch this to handle any malformed or unreadable input uniformly; the
+    FIMI readers (:mod:`repro.datasets.fimi_io`,
+    :mod:`repro.datasets.streaming`) raise subclasses carrying the source
+    name and line number instead of letting a bare ``ValueError`` escape.
+    """
+
+
+class DataFormatError(DatasetError):
     """Raised on malformed transaction-database input (FIMI parsing, bad ids)."""
+
+
+class SpillFormatError(DatasetError):
+    """Raised when an on-disk shard spill directory is missing files or inconsistent."""

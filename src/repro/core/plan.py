@@ -61,8 +61,11 @@ __all__ = [
     "plan_build",
 ]
 
-#: Backends a plan can name, slowest-setup-last.
-BACKENDS = ("host", "batch", "parallel", "kernel")
+#: Backends a plan can name, slowest-setup-last.  ``"sharded"`` is the
+#: out-of-core pipeline (:mod:`repro.core.sharded`): never auto-selected
+#: unless a resident-set ``memory_budget`` is given and the packed buffer
+#: would not fit under it.
+BACKENDS = ("host", "batch", "parallel", "kernel", "sharded")
 
 #: Mean packed words per set at which a collection counts as wide-class
 #: heavy: one width-class SWAR pass over rows this wide already saturates
@@ -120,6 +123,11 @@ class PlanFeatures:
     def mean_words(self) -> float:
         return self.total_words / self.n_sets if self.n_sets else 0.0
 
+    @property
+    def packed_bytes(self) -> int:
+        """Bytes of the packed device buffer — the in-memory engines' resident floor."""
+        return 4 * self.total_words
+
 
 @dataclass(frozen=True)
 class CountPlan:
@@ -140,6 +148,7 @@ def plan_counts(
     requested: str = "auto",
     workers: int | None = None,
     n_pairs: int | None = None,
+    memory_budget: int | None = None,
 ) -> CountPlan:
     """Choose the counting backend for one request.
 
@@ -159,6 +168,12 @@ def plan_counts(
         Number of pairs the query touches, when the caller knows it (point
         queries and explicit pair lists); ``None`` means an all-pairs-sized
         workload.
+    memory_budget:
+        Resident-set ceiling in bytes.  When set, any workload whose packed
+        buffer exceeds it demotes to the ``"sharded"`` out-of-core pipeline
+        (byte-packable layouts only — sub-word and wide-entry layouts stay
+        on the per-pair reference, which never materialises the buffer).
+        ``None`` (the default) disables the gate entirely.
     """
     if not isinstance(features, PlanFeatures):
         features = PlanFeatures.from_collection(features)
@@ -173,6 +188,8 @@ def plan_counts(
         return CountPlan("host", 1, "per-pair host reference requested")
     if requested == "batch":
         return CountPlan("batch", 1, "serial batch engine requested")
+    if requested == "sharded":
+        return CountPlan("sharded", n_workers, "out-of-core sharded pipeline requested")
     if requested == "parallel":
         if n_workers < 2:
             return CountPlan("batch", 1, "parallel requested but only one worker available")
@@ -190,6 +207,12 @@ def plan_counts(
             "host", 1,
             "entries are not byte-packable or ranges are sub-word; only the "
             "per-pair reference is exact",
+        )
+    if memory_budget is not None and features.packed_bytes > memory_budget:
+        return CountPlan(
+            "sharded", n_workers,
+            f"packed buffer ({features.packed_bytes} B) exceeds the "
+            f"resident-set budget ({memory_budget} B)",
         )
     if n_pairs is not None and n_pairs <= HOST_MAX_PAIRS:
         if features.cached_engine:
@@ -222,9 +245,10 @@ def plan_counts(
 
 #: Backends for collection construction: the per-element serial inserter
 #: (the oracle), the round-based vectorized bulk engine
-#: (:mod:`repro.core.bulk_build`), and the multiprocess bulk builder over
-#: set shards (:mod:`repro.parallel.build`).
-BUILD_BACKENDS = ("host", "bulk", "parallel")
+#: (:mod:`repro.core.bulk_build`), the multiprocess bulk builder over
+#: set shards (:mod:`repro.parallel.build`), and the out-of-core sharded
+#: builder (:mod:`repro.core.sharded`) that spills each shard to disk.
+BUILD_BACKENDS = ("host", "bulk", "parallel", "sharded")
 
 #: Total deduplicated elements below which construction stays on the serial
 #: per-element inserter: the bulk engine's group setup (concatenation, flat
@@ -263,6 +287,8 @@ def plan_build(
     *,
     requested: str = "auto",
     workers: int | None = None,
+    memory_budget: int | None = None,
+    packed_bytes: int | None = None,
 ) -> BuildPlan:
     """Choose the construction backend for one collection build.
 
@@ -276,15 +302,21 @@ def plan_build(
         with the same demotion rule the counting planner uses:
         ``"parallel"`` drops to ``"bulk"`` when the pool cannot pay off
         (single worker, or below the build floors).
+    memory_budget / packed_bytes:
+        Resident-set ceiling and the projected packed-buffer size
+        (:func:`~repro.core.sharded.set_packed_bytes` totals).  When both
+        are given and the buffer would not fit, the build demotes to the
+        out-of-core ``"sharded"`` builder before any in-memory engine is
+        considered.
 
-    Policy, in order: tiny builds (below
-    :data:`BULK_BUILD_MIN_ELEMENTS` total elements) stay on the serial
-    ``host`` inserter; large multi-core builds (at least
+    Policy, in order: over-budget builds demote to ``sharded``; tiny builds
+    (below :data:`BULK_BUILD_MIN_ELEMENTS` total elements) stay on the
+    serial ``host`` inserter; large multi-core builds (at least
     :data:`PARALLEL_BUILD_MIN_SETS` sets *and*
     :data:`PARALLEL_BUILD_MIN_ELEMENTS` elements, two or more workers) fan
     out to ``parallel``; everything else runs the in-process ``bulk``
-    engine.  All three produce collections whose pair counts are identical
-    on every counting path.
+    engine.  All engines produce collections whose pair counts are
+    identical on every counting path.
     """
     require(n_sets >= 0, f"n_sets must be >= 0, got {n_sets}")
     require(total_elements >= 0,
@@ -299,6 +331,8 @@ def plan_build(
         return BuildPlan("host", 1, "serial per-element inserter requested")
     if requested == "bulk":
         return BuildPlan("bulk", 1, "vectorized bulk engine requested")
+    if requested == "sharded":
+        return BuildPlan("sharded", 1, "out-of-core sharded build requested")
     if requested == "parallel":
         if n_workers < 2:
             return BuildPlan("bulk", 1,
@@ -312,6 +346,13 @@ def plan_build(
         return BuildPlan("parallel", n_workers, "parallel bulk build requested")
 
     # --- auto policy ---------------------------------------------------- #
+    if (memory_budget is not None and packed_bytes is not None
+            and packed_bytes > memory_budget):
+        return BuildPlan(
+            "sharded", 1,
+            f"projected packed buffer ({packed_bytes} B) exceeds the "
+            f"resident-set budget ({memory_budget} B)",
+        )
     if total_elements < BULK_BUILD_MIN_ELEMENTS:
         return BuildPlan(
             "host", 1,

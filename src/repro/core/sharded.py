@@ -1,0 +1,507 @@
+"""Out-of-core sharded batmap collections: build, spill, memory-mapped re-attach.
+
+A :class:`~repro.core.collection.BatmapCollection` holds every batmap and the
+whole packed device buffer in memory at once — the resident-set assumption
+the paper's in-memory workloads make.  This module removes it: a
+:class:`ShardedCollection` partitions the sets into contiguous *shards*,
+builds each shard as an ordinary ``BatmapCollection`` (through the PR-4 bulk
+engine via :func:`~repro.core.plan.plan_build`), spills the shard's packed
+words to disk in exactly the :class:`~repro.core.batch.WidthClassIndex`
+layout (``words`` / ``offsets`` / ``widths``), and frees it before the next
+shard is built.  Counting re-attaches shards with ``numpy`` memory mapping,
+so the resident set is bounded by the shard budget, never by the instance.
+
+Identity guarantees (pinned by ``tests/test_sharded.py``):
+
+* per-set placement depends only on the set, the shared hash family, the
+  hash range and the config — never on which shard (or whether any shard)
+  the set landed in — so sharded construction is byte-identical to the
+  monolithic build;
+* every shard is packed with one **collection-global** interleave
+  granularity ``r0`` (the minimum range over *all* sets, exactly what the
+  monolithic device buffer would use), so cross-shard folds satisfy the same
+  ``p mod width`` identity as in-buffer folds and all counts are
+  bit-identical to the in-memory engines.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.batch import WidthClassIndex
+from repro.core.bulk_build import device_word_layout, pack_group_words
+from repro.core.collection import BatmapCollection, _dedup_sorted
+from repro.core.config import BatmapConfig, DEFAULT_CONFIG
+from repro.core.errors import LayoutError, SpillFormatError
+from repro.core.hashing import HashFamily
+from repro.utils.rng import RngLike
+from repro.utils.validation import require, require_positive
+
+__all__ = [
+    "SHARD_BUDGET_DIVISOR",
+    "MIN_WORKING_BUDGET",
+    "MANIFEST_NAME",
+    "set_packed_bytes",
+    "fixed_resident_bytes",
+    "working_budget",
+    "plan_shard_ranges",
+    "ShardInfo",
+    "ShardedCollection",
+    "ShardedCollectionBuilder",
+]
+
+#: Fraction of the working budget one spilled shard may occupy.  The
+#: counting phase attaches two shards plus SWAR temporaries, and the build
+#: phase holds a shard's tidlists, entry stacks and cuckoo slot tables at
+#: once (several multiples of the packed bytes) — a tenth of the budget per
+#: shard keeps every phase's simultaneous working sets under the ceiling.
+SHARD_BUDGET_DIVISOR = 10
+
+#: Smallest working budget (after fixed residents) the pipeline accepts;
+#: below this not even a singleton shard's build tables fit.
+MIN_WORKING_BUDGET = 4096
+
+MANIFEST_NAME = "manifest.json"
+_SPILL_VERSION = 1
+
+
+def fixed_resident_bytes(universe_size: int, n_sets: int) -> int:
+    """Resident bytes no amount of sharding can remove.
+
+    The shared hash family stores three permutations with their inverses
+    (six ``int64`` arrays over the universe), and the all-pairs result is a
+    dense ``int64`` ``n x n`` matrix.  Both are needed by the in-memory and
+    the out-of-core paths alike; the configured memory budget must cover
+    them *plus* the shardable state.
+    """
+    return 48 * universe_size + 8 * n_sets * n_sets
+
+
+def working_budget(memory_budget: int, universe_size: int, n_sets: int) -> int:
+    """Budget left for shardable state after the fixed residents.
+
+    Raises ``ValueError`` with the full accounting when the fixed residents
+    leave less than :data:`MIN_WORKING_BUDGET` — a budget that cannot hold
+    the hash family and the result matrix cannot hold any pipeline.
+    """
+    require_positive(memory_budget, "memory_budget")
+    fixed = fixed_resident_bytes(universe_size, n_sets)
+    available = memory_budget - fixed
+    if available < MIN_WORKING_BUDGET:
+        raise ValueError(
+            f"memory budget ({memory_budget} B) is too small: the hash family "
+            f"over {universe_size} transactions and the {n_sets}x{n_sets} "
+            f"result matrix are irreducibly resident ({fixed} B), leaving "
+            f"less than {MIN_WORKING_BUDGET} B for shards"
+        )
+    return available
+
+
+def set_packed_bytes(sizes, universe_size: int, config: BatmapConfig) -> np.ndarray:
+    """Padded packed device bytes per set, from set sizes alone.
+
+    The same geometry :func:`~repro.core.bulk_build.device_word_layout`
+    assigns once the batmaps exist (range from
+    :meth:`~repro.core.config.BatmapConfig.range_for_size` clamped to the
+    word floor, width padded to the 16-word boundary) — so resident-set
+    planning needs no construction.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    out = np.empty(sizes.size, dtype=np.int64)
+    cache: dict[int, int] = {}
+    for k, size in enumerate(sizes.tolist()):
+        nbytes = cache.get(size)
+        if nbytes is None:
+            r = max(4, config.range_for_size(size, universe_size))
+            width = 3 * r // 4
+            nbytes = cache[size] = ((width + 15) // 16) * 16 * 4
+        out[k] = nbytes
+    return out
+
+
+def plan_shard_ranges(
+    packed_bytes,
+    memory_budget: int,
+    *,
+    max_sets_per_shard: int | None = None,
+) -> list:
+    """Partition sets (in order) into contiguous shards under the budget.
+
+    ``packed_bytes[k]`` is set ``k``'s padded device size (from
+    :func:`set_packed_bytes`).  Each shard's total stays at or below
+    ``memory_budget // SHARD_BUDGET_DIVISOR`` — except that a single set
+    larger than the shard budget still gets a (singleton) shard: sharding
+    cannot split one batmap, it can only bound how many are resident.
+    Returns ``[(lo, hi), ...]`` covering ``[0, n)``.
+    """
+    packed_bytes = np.asarray(packed_bytes, dtype=np.int64)
+    require_positive(memory_budget, "memory_budget")
+    shard_budget = max(1, memory_budget // SHARD_BUDGET_DIVISOR)
+    ranges: list[tuple[int, int]] = []
+    lo = 0
+    running = 0
+    for k in range(packed_bytes.size):
+        nbytes = int(packed_bytes[k])
+        full = max_sets_per_shard is not None and (k - lo) >= max_sets_per_shard
+        if k > lo and (running + nbytes > shard_budget or full):
+            ranges.append((lo, k))
+            lo, running = k, 0
+        running += nbytes
+    if packed_bytes.size:
+        ranges.append((lo, int(packed_bytes.size)))
+    return ranges
+
+
+@dataclass
+class ShardInfo:
+    """Metadata of one spilled shard (everything but the words themselves)."""
+
+    index: int
+    lo: int                 #: first global set index covered by this shard
+    hi: int                 #: one past the last global set index
+    directory: Path
+    nbytes: int             #: packed words on disk
+    build_backend: str
+    order: np.ndarray       #: sorted slot -> local set index (lo-relative)
+    failed: np.ndarray      #: (k, 2) [element, local set index] failed insertions
+
+    @property
+    def n_sets(self) -> int:
+        return self.hi - self.lo
+
+    @property
+    def global_order(self) -> np.ndarray:
+        """Sorted slot -> *global* set index."""
+        return self.order + self.lo
+
+
+def _spill_buffer_words(
+    collection: BatmapCollection, r0: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(words, offsets, widths)`` of a collection packed at granularity ``r0``.
+
+    When the collection's own (bulk-pre-assembled or lazily packed) buffer
+    already uses ``r0``, it is reused as-is; otherwise the entries are
+    re-interleaved at the global granularity — same bytes the monolithic
+    buffer would hold for these rows, which is what makes cross-shard folds
+    exact.
+    """
+    own_r0 = collection.r0
+    if own_r0 == r0:
+        buffer = collection.device_buffer()
+        return buffer.words, buffer.offsets, buffer.widths
+    require(own_r0 % r0 == 0,
+            f"collection r0 {own_r0} is not a multiple of the global r0 {r0}")
+    batmaps = collection.batmaps_sorted
+    widths, offsets, total = device_word_layout([bm.r for bm in batmaps])
+    words = np.zeros(total, dtype=np.uint32)
+    start = 0
+    while start < len(batmaps):
+        stop = start
+        r = batmaps[start].r
+        while stop < len(batmaps) and batmaps[stop].r == r:
+            stop += 1
+        entries = np.stack([bm.entries for bm in batmaps[start:stop]])
+        packed, _ = pack_group_words(entries, r0)
+        rows = np.arange(start, stop)
+        words[offsets[rows][:, None] + np.arange(packed.shape[1])] = packed
+        start = stop
+    return words, offsets, widths
+
+
+class ShardedCollectionBuilder:
+    """Incremental out-of-core construction: add shards, spill, finalize.
+
+    Drives one shard at a time through the ordinary
+    :meth:`BatmapCollection.build` (planner-routed: host / bulk / parallel)
+    and writes its packed buffer plus metadata to ``spill_dir/shard_NNNN/``.
+    The caller supplies set batches in global order; only one shard's
+    batmaps are ever resident.
+    """
+
+    def __init__(
+        self,
+        spill_dir: str | Path,
+        universe_size: int,
+        r0: int,
+        *,
+        family: HashFamily,
+        config: BatmapConfig = DEFAULT_CONFIG,
+        build_compute: str = "auto",
+        build_workers: int | None = None,
+        memory_budget: int | None = None,
+    ) -> None:
+        require_positive(universe_size, "universe_size")
+        if config.entry_storage_bits != 8:
+            raise LayoutError(
+                "the sharded pipeline spills byte-packed device buffers; "
+                f"payload_bits={config.payload_bits} stores "
+                f"{config.entry_dtype} entries — use the in-memory path"
+            )
+        require(family.universe_size == universe_size,
+                "family universe size does not match universe_size")
+        self.spill_dir = Path(spill_dir)
+        self.spill_dir.mkdir(parents=True, exist_ok=True)
+        self.universe_size = universe_size
+        self.r0 = int(r0)
+        self.family = family
+        self.config = config
+        self.build_compute = build_compute
+        self.build_workers = build_workers
+        self.memory_budget = memory_budget
+        self.shards: list[ShardInfo] = []
+        self._next_lo = 0
+        self._finalized = False
+
+    def _shard_build_compute(self, sets) -> str:
+        """Per-shard engine choice under the working budget.
+
+        The bulk engine's floor is one set's group arrays (about six 8-byte
+        per-slot arrays over ``3 * r`` slots); when even that floor would
+        eat more than half the working budget, the shard builds with the
+        serial inserter instead — identical output, a fraction of the
+        working set.
+        """
+        if self.memory_budget is None or self.build_compute != "auto":
+            return self.build_compute
+        largest = max(np.asarray(s).size for s in sets)
+        r_max = max(4, self.config.range_for_size(int(largest), self.universe_size))
+        if 144 * r_max > self.memory_budget // 2:
+            return "host"
+        return self.build_compute
+
+    def add_shard(self, sets) -> ShardInfo:
+        """Build, spill and release one shard of sets (next global range)."""
+        require(not self._finalized, "builder is already finalized")
+        require(len(sets) > 0, "cannot add an empty shard")
+        collection = BatmapCollection.build(
+            sets,
+            self.universe_size,
+            config=self.config,
+            family=self.family,
+            build_compute=self._shard_build_compute(sets),
+            build_workers=self.build_workers,
+            memory_budget=self.memory_budget,
+        )
+        words, offsets, widths = _spill_buffer_words(collection, self.r0)
+        index = len(self.shards)
+        shard_dir = self.spill_dir / f"shard_{index:04d}"
+        shard_dir.mkdir(exist_ok=True)
+        np.save(shard_dir / "words.npy", words)
+        np.save(shard_dir / "offsets.npy", offsets)
+        np.save(shard_dir / "widths.npy", widths)
+        np.save(shard_dir / "order.npy", collection.order)
+        failed_pairs = [
+            (element, local)
+            for element, locals_ in collection.failed_insertions().items()
+            for local in locals_
+        ]
+        failed = (np.array(sorted(failed_pairs), dtype=np.int64).reshape(-1, 2)
+                  if failed_pairs else np.zeros((0, 2), dtype=np.int64))
+        np.save(shard_dir / "failed.npy", failed)
+        info = ShardInfo(
+            index=index,
+            lo=self._next_lo,
+            hi=self._next_lo + len(sets),
+            directory=shard_dir,
+            nbytes=int(words.nbytes),
+            build_backend=(collection.build_plan.backend
+                           if collection.build_plan else "host"),
+            order=collection.order,
+            failed=failed,
+        )
+        self.shards.append(info)
+        self._next_lo = info.hi
+        return info
+
+    def finalize(self) -> "ShardedCollection":
+        """Write the manifest and return the attached collection."""
+        require(self.shards, "cannot finalize a sharded collection with no shards")
+        self._finalized = True
+        manifest = {
+            "version": _SPILL_VERSION,
+            "universe_size": self.universe_size,
+            "n_sets": self._next_lo,
+            "r0": self.r0,
+            "payload_bits": self.config.payload_bits,
+            "shards": [
+                {
+                    "dir": shard.directory.name,
+                    "lo": shard.lo,
+                    "hi": shard.hi,
+                    "nbytes": shard.nbytes,
+                    "build_backend": shard.build_backend,
+                }
+                for shard in self.shards
+            ],
+        }
+        (self.spill_dir / MANIFEST_NAME).write_text(json.dumps(manifest, indent=1))
+        return ShardedCollection(self.spill_dir, self.universe_size, self.r0,
+                                 self.shards)
+
+
+class ShardedCollection:
+    """A collection whose packed shards live on disk, attached on demand.
+
+    The out-of-core counterpart of :class:`BatmapCollection` for the
+    counting phase: :meth:`attach` memory-maps one shard's words and wraps
+    them in a :class:`~repro.core.batch.WidthClassIndex` (gathers pull only
+    the rows a query touches into RAM), and
+    :meth:`count_all_pairs` streams shard pairs through the batch/parallel
+    engines via :class:`~repro.parallel.sharded.ShardedPairCounter`.
+    """
+
+    def __init__(self, spill_dir: Path, universe_size: int, r0: int,
+                 shards: list) -> None:
+        self.spill_dir = Path(spill_dir)
+        self.universe_size = universe_size
+        self.r0 = int(r0)
+        self.shards = list(shards)
+        self.n_sets = self.shards[-1].hi if self.shards else 0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        sets,
+        universe_size: int,
+        spill_dir: str | Path,
+        *,
+        memory_budget: int,
+        config: BatmapConfig = DEFAULT_CONFIG,
+        rng: RngLike = None,
+        family: HashFamily | None = None,
+        build_compute: str = "auto",
+        build_workers: int | None = None,
+        max_sets_per_shard: int | None = None,
+    ) -> "ShardedCollection":
+        """Shard, build and spill an in-memory list of sets.
+
+        The convenience entry point (tests, matrix workloads); the streaming
+        mining pipeline drives :class:`ShardedCollectionBuilder` directly so
+        tidlists are never all resident.  Results are bit-identical to
+        ``BatmapCollection.build(sets, ...)`` with the same ``rng`` on every
+        counting path.
+        """
+        require(len(sets) > 0, "cannot build an empty collection")
+        if family is None:
+            shift = config.shift_for_universe(universe_size)
+            family = HashFamily.create(universe_size, shift=shift, rng=rng)
+        dedup = [_dedup_sorted(s) for s in sets]
+        sizes = np.array([d.size for d in dedup], dtype=np.int64)
+        packed = set_packed_bytes(sizes, universe_size, config)
+        available = working_budget(memory_budget, universe_size, len(sets))
+        ranges = plan_shard_ranges(packed, available,
+                                   max_sets_per_shard=max_sets_per_shard)
+        r0 = int(min(
+            max(4, config.range_for_size(int(size), universe_size))
+            for size in sizes.tolist()
+        ))
+        builder = ShardedCollectionBuilder(
+            spill_dir, universe_size, r0, family=family, config=config,
+            build_compute=build_compute, build_workers=build_workers,
+            memory_budget=available,
+        )
+        for lo, hi in ranges:
+            builder.add_shard(dedup[lo:hi])
+        return builder.finalize()
+
+    @classmethod
+    def from_spill(cls, spill_dir: str | Path) -> "ShardedCollection":
+        """Re-attach a previously spilled collection from its manifest."""
+        spill_dir = Path(spill_dir)
+        manifest_path = spill_dir / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise SpillFormatError(f"no {MANIFEST_NAME} in {spill_dir}")
+        manifest = json.loads(manifest_path.read_text())
+        if manifest.get("version") != _SPILL_VERSION:
+            raise SpillFormatError(
+                f"unsupported spill version {manifest.get('version')!r}")
+        shards = []
+        for k, entry in enumerate(manifest["shards"]):
+            directory = spill_dir / entry["dir"]
+            try:
+                order = np.load(directory / "order.npy")
+                failed = np.load(directory / "failed.npy")
+            except FileNotFoundError as exc:
+                raise SpillFormatError(f"shard spill {directory} is incomplete") from exc
+            shards.append(ShardInfo(
+                index=k, lo=int(entry["lo"]), hi=int(entry["hi"]),
+                directory=directory, nbytes=int(entry["nbytes"]),
+                build_backend=entry["build_backend"], order=order, failed=failed,
+            ))
+        return cls(spill_dir, int(manifest["universe_size"]),
+                   int(manifest["r0"]), shards)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.n_sets
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def total_packed_bytes(self) -> int:
+        return sum(shard.nbytes for shard in self.shards)
+
+    @property
+    def total_words(self) -> int:
+        """Sum of true (unpadded) packed row widths, for planner features."""
+        return sum(int(np.load(s.directory / "widths.npy").sum()) for s in self.shards)
+
+    def attach(self, shard_index: int, *, block_words=None) -> WidthClassIndex:
+        """Memory-map one shard's words and build its width-class engine.
+
+        The returned index gathers rows lazily — attaching is cheap, and a
+        query's resident cost is the rows it touches (plus the index's
+        per-class cache once whole-class queries run).  Callers own the
+        lifetime: dropping the index releases the mapping.
+        """
+        shard = self.shards[shard_index]
+        try:
+            words = np.load(shard.directory / "words.npy", mmap_mode="r")
+            offsets = np.load(shard.directory / "offsets.npy")
+            widths = np.load(shard.directory / "widths.npy")
+        except FileNotFoundError as exc:
+            raise SpillFormatError(
+                f"shard spill {shard.directory} is incomplete") from exc
+        kwargs = {} if block_words is None else {"block_words": block_words}
+        return WidthClassIndex(words, offsets, widths, **kwargs)
+
+    def failed_insertions(self) -> dict:
+        """Map ``element -> [global set indices]`` of failed insertions."""
+        failures: dict[int, list[int]] = {}
+        for shard in self.shards:
+            for element, local in shard.failed.tolist():
+                failures.setdefault(int(element), []).append(int(local) + shard.lo)
+        for members in failures.values():
+            members.sort()
+        return failures
+
+    def count_all_pairs(self, *, compute: str = "auto", workers=None,
+                        memory_budget: int | None = None) -> np.ndarray:
+        """Dense ``n x n`` stored-copy count matrix in original set order.
+
+        Bit-identical to ``BatmapCollection.count_all_pairs`` on the same
+        sets; the work streams shard-pair rectangles through
+        :class:`~repro.parallel.sharded.ShardedPairCounter`.
+        """
+        from repro.parallel.sharded import ShardedPairCounter
+
+        counter = ShardedPairCounter(self, compute=compute, workers=workers,
+                                     memory_budget=memory_budget)
+        return counter.counts()
+
+    def cleanup(self) -> None:
+        """Delete the spill directory (idempotent)."""
+        shutil.rmtree(self.spill_dir, ignore_errors=True)

@@ -9,9 +9,18 @@
 * :func:`~repro.datasets.webdocs.generate_webdocs_like` — WebDocs surrogate
   with Zipfian vocabulary growth.
 * :mod:`~repro.datasets.fimi_io` — FIMI text format I/O.
+* :mod:`~repro.datasets.streaming` — bounded-memory chunked readers for the
+  out-of-core pipeline.
 """
 
-from repro.datasets.fimi_io import parse_fimi_lines, read_fimi, write_fimi
+from repro.datasets.fimi_io import parse_fimi_line, parse_fimi_lines, read_fimi, write_fimi
+from repro.datasets.streaming import (
+    FimiChunk,
+    FimiStats,
+    collect_transactions,
+    iter_fimi_chunks,
+    scan_fimi_stats,
+)
 from repro.datasets.ibm_quest import QuestParameters, generate_quest_dataset, generate_t40i10
 from repro.datasets.synthetic import generate_density_instance, generate_fixed_transactions
 from repro.datasets.transactions import TransactionDatabase
@@ -28,5 +37,11 @@ __all__ = [
     "vocabulary_growth",
     "read_fimi",
     "write_fimi",
+    "parse_fimi_line",
     "parse_fimi_lines",
+    "FimiChunk",
+    "FimiStats",
+    "iter_fimi_chunks",
+    "scan_fimi_stats",
+    "collect_transactions",
 ]

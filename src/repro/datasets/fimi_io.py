@@ -5,6 +5,13 @@ from which the paper takes WebDocs, stores one transaction per line as
 whitespace-separated integer item ids.  This module reads and writes that
 format so users can run the pipeline on real FIMI datasets when they have
 them locally.
+
+All readers raise :class:`~repro.core.errors.DataFormatError` (a
+:class:`~repro.core.errors.DatasetError`) with the source name and line
+number on malformed input — a bare ``ValueError`` traceback out of ``int()``
+never escapes to the caller.  The line-level parser is shared with the
+bounded-memory chunked readers of :mod:`repro.datasets.streaming`, so the
+two paths cannot drift apart on comment/blank-line/error semantics.
 """
 
 from __future__ import annotations
@@ -17,7 +24,28 @@ import numpy as np
 from repro.core.errors import DataFormatError
 from repro.datasets.transactions import TransactionDatabase
 
-__all__ = ["read_fimi", "write_fimi", "parse_fimi_lines"]
+__all__ = ["read_fimi", "write_fimi", "parse_fimi_lines", "parse_fimi_line"]
+
+
+def parse_fimi_line(line: str, lineno: int, source: str = "fimi") -> np.ndarray | None:
+    """Parse one FIMI line into a sorted duplicate-free ``int64`` array.
+
+    Returns ``None`` for blank lines and ``#`` comments.  Raises
+    :class:`~repro.core.errors.DataFormatError` naming ``source`` and the
+    1-based ``lineno`` on non-integer tokens or negative ids.
+    """
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    try:
+        items = np.array([int(tok) for tok in stripped.split()], dtype=np.int64)
+    except ValueError as exc:
+        raise DataFormatError(
+            f"{source}: line {lineno}: non-integer token in {stripped!r}"
+        ) from exc
+    if items.size and items.min() < 0:
+        raise DataFormatError(f"{source}: line {lineno}: negative item id")
+    return np.unique(items)
 
 
 def parse_fimi_lines(
@@ -37,20 +65,14 @@ def parse_fimi_lines(
     for lineno, line in enumerate(lines, start=1):
         if max_transactions is not None and len(transactions) >= max_transactions:
             break
-        stripped = line.strip()
-        if not stripped or stripped.startswith("#"):
+        items = parse_fimi_line(line, lineno, name)
+        if items is None:
             continue
-        try:
-            items = np.array([int(tok) for tok in stripped.split()], dtype=np.int64)
-        except ValueError as exc:
-            raise DataFormatError(f"line {lineno}: non-integer token in {stripped!r}") from exc
-        if items.size and items.min() < 0:
-            raise DataFormatError(f"line {lineno}: negative item id")
         if items.size:
-            max_id = max(max_id, int(items.max()))
-        transactions.append(np.unique(items))
+            max_id = max(max_id, int(items[-1]))
+        transactions.append(items)
     if not transactions:
-        raise DataFormatError("no transactions found in input")
+        raise DataFormatError(f"{name}: no transactions found in input")
     inferred = max_id + 1 if max_id >= 0 else 1
     if n_items is None:
         n_items = inferred

@@ -1,0 +1,249 @@
+"""Bounded-memory chunked readers over FIMI transaction streams.
+
+The in-memory reader (:func:`repro.datasets.fimi_io.read_fimi`) materialises
+every transaction before anything downstream runs — fine for the paper's
+figures, a hard ceiling for the out-of-core pipeline, whose whole point is
+that the database never fits.  This module streams the same format with a
+resident set bounded by one chunk:
+
+* :func:`iter_fimi_chunks` — yields :class:`FimiChunk` batches of parsed
+  transactions (at most ``chunk_transactions`` per chunk), preserving the
+  global transaction ids;
+* :func:`scan_fimi_stats` — one streaming pass computing exactly the
+  aggregates the mining planner needs before any batmap exists
+  (transaction count, item-id range, occurrence total, per-item supports);
+* :func:`collect_transactions` — one streaming pass extracting a *sparse*
+  subset of transactions by id (the repair phase needs the handful of
+  transactions whose cuckoo insertions failed, not the whole database).
+
+Line semantics (blank lines, ``#`` comments, error reporting) are shared
+with the in-memory reader through
+:func:`~repro.datasets.fimi_io.parse_fimi_line`, so a file parses to the
+same transactions on both paths — the foundation of the sharded pipeline's
+bit-identity guarantee.  Malformed lines raise
+:class:`~repro.core.errors.DataFormatError` (a ``DatasetError``) naming the
+file and line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.datasets.fimi_io import parse_fimi_line
+from repro.utils.validation import require_positive
+
+__all__ = [
+    "DEFAULT_CHUNK_TRANSACTIONS",
+    "DEFAULT_CHUNK_ITEMS",
+    "FimiChunk",
+    "FimiStats",
+    "iter_fimi_chunks",
+    "scan_fimi_stats",
+    "collect_transactions",
+]
+
+#: Default transactions per chunk: small enough that a chunk of short
+#: transactions (whose cost is ndarray object overhead) stays around a
+#: megabyte, large enough that per-chunk Python overhead is negligible.
+DEFAULT_CHUNK_TRANSACTIONS = 8192
+
+#: Occurrence cap per chunk — the binding limit for *long* transactions,
+#: whose cost is item data rather than per-array overhead.  A chunk flushes
+#: when either cap is reached.
+DEFAULT_CHUNK_ITEMS = 1 << 16
+
+
+@dataclass(frozen=True)
+class FimiChunk:
+    """A contiguous batch of parsed transactions from one stream.
+
+    ``transactions[k]`` is the sorted duplicate-free item array of global
+    transaction id ``start_tid + k`` — ids are global to the stream, so a
+    consumer can partition occurrences without ever seeing the whole file.
+    """
+
+    start_tid: int
+    transactions: list
+
+    @property
+    def n_transactions(self) -> int:
+        return len(self.transactions)
+
+    @property
+    def end_tid(self) -> int:
+        """One past the last transaction id in this chunk."""
+        return self.start_tid + len(self.transactions)
+
+    def tids(self) -> np.ndarray:
+        return np.arange(self.start_tid, self.end_tid, dtype=np.int64)
+
+
+def _iter_lines(source) -> Iterator[str]:
+    if isinstance(source, (str, Path)):
+        with Path(source).open("r", encoding="utf-8") as handle:
+            yield from handle
+    else:
+        yield from source
+
+
+def _source_name(source) -> str:
+    if isinstance(source, (str, Path)):
+        return Path(source).stem
+    return "fimi"
+
+
+def iter_fimi_chunks(
+    source: str | Path | Iterable[str],
+    *,
+    chunk_transactions: int = DEFAULT_CHUNK_TRANSACTIONS,
+    chunk_items: int = DEFAULT_CHUNK_ITEMS,
+    max_transactions: int | None = None,
+    name: str | None = None,
+) -> Iterator[FimiChunk]:
+    """Stream a FIMI file (or iterable of lines) as :class:`FimiChunk` batches.
+
+    A chunk flushes at ``chunk_transactions`` parsed transactions or
+    ``chunk_items`` total occurrences, whichever comes first — the two caps
+    bound resident memory for overhead-dominated (short) and data-dominated
+    (long) transactions alike.  Blank lines and comments are skipped without
+    consuming a transaction id, exactly as the in-memory reader does.  An
+    empty input yields no chunks (the *consumer* decides whether that is an
+    error — aggregation passes want to distinguish "empty file" from "short
+    file").
+    """
+    require_positive(chunk_transactions, "chunk_transactions")
+    require_positive(chunk_items, "chunk_items")
+    name = name if name is not None else _source_name(source)
+    batch: list[np.ndarray] = []
+    batch_items = 0
+    start_tid = 0
+    produced = 0
+    for lineno, line in enumerate(_iter_lines(source), start=1):
+        if max_transactions is not None and produced >= max_transactions:
+            break
+        items = parse_fimi_line(line, lineno, name)
+        if items is None:
+            continue
+        batch.append(items)
+        batch_items += items.size
+        produced += 1
+        if len(batch) >= chunk_transactions or batch_items >= chunk_items:
+            yield FimiChunk(start_tid=start_tid, transactions=batch)
+            start_tid += len(batch)
+            batch = []
+            batch_items = 0
+    if batch:
+        yield FimiChunk(start_tid=start_tid, transactions=batch)
+
+
+@dataclass
+class FimiStats:
+    """Aggregates of one streaming pass — the planner's view of a dataset.
+
+    Everything the out-of-core pipeline must know *before* building any
+    batmap: the element universe (``n_transactions``), the item-id range,
+    the instance size, and per-item supports (each item's tidlist length —
+    which fixes its hash range and therefore its packed width).
+    """
+
+    name: str
+    n_transactions: int
+    n_items: int                 #: max item id + 1 (0 for an empty stream)
+    total_items: int             #: occurrence count — the paper's instance size
+    item_supports: np.ndarray    #: shape (n_items,) tidlist length per item
+
+    @property
+    def density(self) -> float:
+        cells = self.n_transactions * self.n_items
+        return self.total_items / cells if cells else 0.0
+
+
+def scan_fimi_stats(
+    source: str | Path | Iterable[str],
+    *,
+    chunk_transactions: int = DEFAULT_CHUNK_TRANSACTIONS,
+    chunk_items: int = DEFAULT_CHUNK_ITEMS,
+    max_transactions: int | None = None,
+    name: str | None = None,
+) -> FimiStats:
+    """One bounded-memory pass computing :class:`FimiStats` for a stream.
+
+    Resident memory is one chunk plus one ``int64`` array of length
+    ``max_item_id + 1`` (grown geometrically as larger ids appear).
+    """
+    name = name if name is not None else _source_name(source)
+    supports = np.zeros(1024, dtype=np.int64)
+    max_id = -1
+    n_transactions = 0
+    total_items = 0
+    for chunk in iter_fimi_chunks(
+        source,
+        chunk_transactions=chunk_transactions,
+        chunk_items=chunk_items,
+        max_transactions=max_transactions,
+        name=name,
+    ):
+        n_transactions = chunk.end_tid
+        for items in chunk.transactions:
+            if items.size == 0:
+                continue
+            top = int(items[-1])
+            if top > max_id:
+                max_id = top
+                if max_id >= supports.size:
+                    grown = np.zeros(
+                        max(max_id + 1, 2 * supports.size), dtype=np.int64
+                    )
+                    grown[: supports.size] = supports
+                    supports = grown
+            total_items += items.size
+            supports[items] += 1
+    n_items = max_id + 1
+    return FimiStats(
+        name=name,
+        n_transactions=n_transactions,
+        n_items=n_items,
+        total_items=total_items,
+        item_supports=supports[:n_items].copy(),
+    )
+
+
+def collect_transactions(
+    source: str | Path | Iterable[str],
+    tids,
+    *,
+    chunk_transactions: int = DEFAULT_CHUNK_TRANSACTIONS,
+    chunk_items: int = DEFAULT_CHUNK_ITEMS,
+    max_transactions: int | None = None,
+    name: str | None = None,
+) -> dict:
+    """Extract the transactions with the given global ids in one streaming pass.
+
+    Returns ``{tid: sorted item array}``; memory is bounded by one chunk
+    plus the requested transactions (the repair phase requests only the few
+    tids with failed insertions).  Missing tids are simply absent from the
+    result.
+    """
+    wanted = {int(t) for t in tids}
+    out: dict[int, np.ndarray] = {}
+    if not wanted:
+        return out
+    last = max(wanted)
+    for chunk in iter_fimi_chunks(
+        source,
+        chunk_transactions=chunk_transactions,
+        chunk_items=chunk_items,
+        max_transactions=max_transactions,
+        name=name,
+    ):
+        if chunk.start_tid > last:
+            break
+        for offset, items in enumerate(chunk.transactions):
+            tid = chunk.start_tid + offset
+            if tid in wanted:
+                out[tid] = items
+    return out

@@ -18,8 +18,18 @@ from repro.mining.levelwise import (
     scan_supports,
 )
 from repro.mining.pair_mining import BatmapPairMiner
-from repro.mining.postprocess import reorder_counts, repair_pair_counts, upper_triangle_pairs
-from repro.mining.preprocess import PreprocessedData, preprocess
+from repro.mining.postprocess import (
+    reorder_counts,
+    repair_pair_counts,
+    repair_pair_counts_from_failures,
+    upper_triangle_pairs,
+)
+from repro.mining.preprocess import (
+    PreprocessedData,
+    StreamedPreprocessedData,
+    preprocess,
+    preprocess_streaming,
+)
 from repro.mining.support import MiningReport, PairSupports
 
 __all__ = [
@@ -31,8 +41,11 @@ __all__ = [
     "scan_supports",
     "PreprocessedData",
     "preprocess",
+    "StreamedPreprocessedData",
+    "preprocess_streaming",
     "reorder_counts",
     "repair_pair_counts",
+    "repair_pair_counts_from_failures",
     "upper_triangle_pairs",
     "MiningReport",
     "PairSupports",

@@ -15,25 +15,39 @@ The report separates the three phases the way the paper's figures do
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.config import BatmapConfig, DEFAULT_CONFIG
 from repro.core.intersection import count_common
 from repro.core.plan import plan_counts
+from repro.datasets.streaming import collect_transactions
 from repro.datasets.transactions import TransactionDatabase
 from repro.gpu.device import DeviceSpec, GTX_285
 from repro.kernels.driver import run_batmap_pair_counts
-from repro.mining.postprocess import reorder_counts, repair_pair_counts
-from repro.mining.preprocess import preprocess
+from repro.mining.postprocess import (
+    reorder_counts,
+    repair_pair_counts,
+    repair_pair_counts_from_failures,
+)
+from repro.mining.preprocess import preprocess, preprocess_streaming
 from repro.mining.support import MiningReport, PairSupports
 from repro.parallel.executor import ParallelPairCounter
+from repro.utils.memory import parse_memory_size
 from repro.utils.rng import RngLike
 from repro.utils.timer import PhaseTimer
 from repro.utils.validation import require
 
-__all__ = ["BatmapPairMiner"]
+__all__ = ["BatmapPairMiner", "DEFAULT_STREAM_BUDGET"]
+
+#: Resident-set ceiling ``mine_stream`` uses when the caller names none —
+#: generous enough that modest instances land in one shard, small enough
+#: that a laptop never swaps.
+DEFAULT_STREAM_BUDGET = 256 << 20
 
 
 def _host_counts_sorted(collection) -> np.ndarray:
@@ -203,6 +217,99 @@ class BatmapPairMiner:
             build_backend=(pre.collection.build_plan.backend
                            if pre.collection.build_plan else "host"),
         )
+
+    def mine_stream(
+        self,
+        source,
+        *,
+        min_support: int = 1,
+        rng: RngLike = None,
+        filter_items: bool = True,
+        memory_budget=None,
+        spill_dir=None,
+        max_transactions: int | None = None,
+    ) -> MiningReport:
+        """Mine frequent pairs out-of-core from a FIMI stream on disk.
+
+        The database is never fully resident: preprocessing streams the file
+        (:func:`~repro.mining.preprocess.preprocess_streaming`), construction
+        spills packed shards sized to ``memory_budget`` (a byte count or a
+        string like ``"64M"``; default :data:`DEFAULT_STREAM_BUDGET`), and
+        counting streams shard-pair rectangles through the batch/parallel
+        engines.  Results are **bit-identical** to :meth:`mine` on the
+        in-memory database read from the same file.
+
+        ``spill_dir`` keeps the shard spill at a caller-chosen path (and
+        leaves it behind for re-attach); by default a temporary directory
+        is used and removed when mining finishes.  ``compute="device"`` is
+        rejected — the simulated device models an in-memory buffer.
+        """
+        require(min_support >= 1, f"min_support must be >= 1, got {min_support}")
+        require(self.compute in ("host", "parallel", "auto"),
+                "streaming mining supports compute 'host', 'parallel' or 'auto'; "
+                f"got {self.compute!r} (the simulated device needs the whole "
+                "buffer resident)")
+        budget = parse_memory_size(
+            memory_budget if memory_budget is not None else DEFAULT_STREAM_BUDGET)
+        timers = PhaseTimer()
+        cleanup = spill_dir is None
+        spill = Path(spill_dir) if spill_dir is not None else Path(
+            tempfile.mkdtemp(prefix="repro-shards-"))
+        try:
+            with timers.time("preprocess"):
+                pre = preprocess_streaming(
+                    source,
+                    spill,
+                    memory_budget=budget,
+                    min_support=min_support,
+                    config=self.config,
+                    rng=rng,
+                    filter_items=filter_items,
+                    build_compute=self.build_compute,
+                    build_workers=(self.build_workers
+                                   if self.build_workers is not None
+                                   else self.workers),
+                    max_transactions=max_transactions,
+                )
+            from repro.parallel.sharded import ShardedPairCounter
+
+            counter = ShardedPairCounter(
+                pre.collection,
+                compute=self.compute,
+                workers=self.workers,
+                memory_budget=budget,
+            )
+            with timers.time("count"):
+                counts = counter.counts()
+
+            with timers.time("postprocess"):
+                failures = pre.failed_insertions()
+                if failures:
+                    remap = -np.ones(max(1, pre.stats.n_items), dtype=np.int64)
+                    remap[pre.item_map] = np.arange(pre.item_map.size)
+                    raw = collect_transactions(pre.source, failures.keys(),
+                                               max_transactions=max_transactions)
+                    transactions = {}
+                    for tid, items in raw.items():
+                        mapped = remap[items]
+                        transactions[tid] = np.sort(mapped[mapped >= 0])
+                    counts = repair_pair_counts_from_failures(
+                        counts, failures, transactions)
+                supports = PairSupports(counts=counts, item_ids=pre.item_map)
+
+            n_failed = sum(len(v) for v in failures.values())
+            shards = pre.collection.shards
+            return MiningReport(
+                supports=supports,
+                timers=timers,
+                batmap_bytes=pre.batmap_bytes,
+                failed_insertions=n_failed,
+                count_backend=f"sharded({counter.plan.backend})",
+                build_backend=f"sharded({shards[0].build_backend})",
+            )
+        finally:
+            if cleanup:
+                shutil.rmtree(spill, ignore_errors=True)
 
     def mine_pairs(
         self,

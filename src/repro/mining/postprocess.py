@@ -19,7 +19,12 @@ import numpy as np
 from repro.core.collection import BatmapCollection
 from repro.datasets.transactions import TransactionDatabase
 
-__all__ = ["repair_pair_counts", "reorder_counts", "upper_triangle_pairs"]
+__all__ = [
+    "repair_pair_counts",
+    "repair_pair_counts_from_failures",
+    "reorder_counts",
+    "upper_triangle_pairs",
+]
 
 
 def reorder_counts(counts_sorted: np.ndarray, collection: BatmapCollection) -> np.ndarray:
@@ -52,12 +57,29 @@ def repair_pair_counts(
         raise ValueError(
             f"count matrix shape {counts.shape} does not match collection size {n}"
         )
-    repaired = counts.copy()
     failures = collection.failed_insertions()   # transaction b -> items F_b
+    return repair_pair_counts_from_failures(counts, failures, database.transactions)
+
+
+def repair_pair_counts_from_failures(
+    counts: np.ndarray,
+    failures: dict,
+    transactions,
+) -> np.ndarray:
+    """The repair loop itself, decoupled from the collection/database containers.
+
+    ``failures`` maps transaction id ``b`` to the item list ``F_b``;
+    ``transactions`` maps ``b`` to its item array — a list for the
+    in-memory database, a sparse ``{tid: items}`` dict for the streaming
+    pipeline (which extracts only the failed transactions from the file).
+    Shared by both paths so the out-of-core repair cannot drift from the
+    in-memory one.
+    """
+    repaired = counts.copy()
     if not failures:
         return repaired
     for b, failed_items in failures.items():
-        transaction = database.transactions[b]
+        transaction = transactions[b]
         failed_set = set(failed_items)
         items = transaction.tolist()
         # For each unordered pair {a, c} of items of transaction b with at

@@ -16,17 +16,41 @@ The output bundles everything the device phase and the repair phase need.
 
 from __future__ import annotations
 
+import shutil
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.collection import BatmapCollection
 from repro.core.config import BatmapConfig, DEFAULT_CONFIG
+from repro.core.errors import DataFormatError
+from repro.core.hashing import HashFamily
+from repro.core.sharded import (
+    ShardedCollection,
+    ShardedCollectionBuilder,
+    plan_shard_ranges,
+    set_packed_bytes,
+    working_budget,
+)
+from repro.datasets.streaming import (
+    DEFAULT_CHUNK_ITEMS,
+    DEFAULT_CHUNK_TRANSACTIONS,
+    FimiStats,
+    iter_fimi_chunks,
+    scan_fimi_stats,
+)
 from repro.datasets.transactions import TransactionDatabase
+from repro.utils.memory import parse_memory_size
 from repro.utils.rng import RngLike
 from repro.utils.validation import require
 
-__all__ = ["PreprocessedData", "preprocess"]
+__all__ = [
+    "PreprocessedData",
+    "preprocess",
+    "StreamedPreprocessedData",
+    "preprocess_streaming",
+]
 
 
 @dataclass
@@ -106,4 +130,206 @@ def preprocess(
         database=filtered,
         item_map=kept,
         min_support=min_support,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Out-of-core streaming preprocessing
+# --------------------------------------------------------------------------- #
+@dataclass
+class StreamedPreprocessedData:
+    """The streaming pipeline's counterpart of :class:`PreprocessedData`.
+
+    The collection is sharded and spilled; the database stays on disk (only
+    its :class:`~repro.datasets.streaming.FimiStats` are retained, plus the
+    source path so the repair phase can extract the few transactions it
+    needs in one more bounded pass).
+    """
+
+    collection: ShardedCollection
+    source: object                         #: the FIMI source (path or line iterable)
+    stats: FimiStats
+    item_map: np.ndarray                   #: new item id -> original item id
+    min_support: int
+    max_transactions: int | None = None
+
+    @property
+    def n_items(self) -> int:
+        return len(self.collection)
+
+    @property
+    def universe_size(self) -> int:
+        return self.collection.universe_size
+
+    @property
+    def batmap_bytes(self) -> int:
+        """Total packed bytes across all spilled shards."""
+        return self.collection.total_packed_bytes
+
+    def failed_insertions(self) -> dict:
+        return self.collection.failed_insertions()
+
+
+def preprocess_streaming(
+    source,
+    spill_dir: str | Path,
+    *,
+    memory_budget: int,
+    min_support: int = 1,
+    config: BatmapConfig = DEFAULT_CONFIG,
+    rng: RngLike = None,
+    filter_items: bool = True,
+    build_compute: str = "auto",
+    build_workers: int | None = None,
+    chunk_transactions: int | None = None,
+    chunk_items: int | None = None,
+    max_transactions: int | None = None,
+) -> StreamedPreprocessedData:
+    """Out-of-core preprocessing: three bounded-memory passes over the stream.
+
+    1. **Scan** — :func:`~repro.datasets.streaming.scan_fimi_stats` computes
+       transaction count, item supports and the instance size; support
+       filtering, dense relabelling, the collection-global interleave
+       granularity ``r0`` and the shard ranges all derive from it.
+    2. **Partition** — occurrences are streamed again as ``(item, tid)``
+       pairs and appended to one raw spill file per shard, so each shard's
+       vertical tidlists can later be assembled without the others.
+    3. **Build** — shard by shard: load the partition, assemble tidlists,
+       build through :class:`~repro.core.sharded.ShardedCollectionBuilder`
+       (planner-routed engines), spill the packed buffer, free everything.
+
+    The hash family is created exactly as :func:`preprocess` creates it
+    (same universe, same ``rng``), and per-set placement is independent of
+    sharding — the resulting counts are bit-identical to the in-memory
+    path on any workload that fits both.
+    """
+    require(min_support >= 1, f"min_support must be >= 1, got {min_support}")
+    memory_budget = parse_memory_size(memory_budget)
+    if not isinstance(source, (str, Path)):
+        # The pipeline makes several passes (scan, partition, repair), so a
+        # one-shot line iterator would silently parse as empty on the second
+        # pass.  Buffer non-path sources up front — a convenience path for
+        # tests and small inputs; true out-of-core operation needs a file.
+        source = list(source)
+    # A parsed transaction costs a few hundred bytes of ndarray object
+    # overhead before its data (short transactions) or its item data (long
+    # ones); cap chunks on both axes at about a quarter of the budget.
+    auto_chunk = chunk_transactions is None
+    auto_items = chunk_items is None
+    if auto_chunk:
+        chunk_transactions = int(min(DEFAULT_CHUNK_TRANSACTIONS,
+                                     max(64, memory_budget // (4 * 600))))
+    if auto_items:
+        # Each chunked occurrence costs ~56 B across the partition pass's
+        # simultaneous arrays (parsed chunk, pair blocks, concatenation,
+        # shard routing) — ~1/160 of the budget keeps that pass near a
+        # third of it.
+        chunk_items = int(min(DEFAULT_CHUNK_ITEMS,
+                              max(1024, memory_budget // 160)))
+    stats = scan_fimi_stats(source, chunk_transactions=chunk_transactions,
+                            chunk_items=chunk_items,
+                            max_transactions=max_transactions)
+    if stats.n_transactions == 0:
+        raise DataFormatError(f"{stats.name}: no transactions found in input")
+
+    if filter_items and min_support > 1:
+        kept = np.nonzero(stats.item_supports >= min_support)[0]
+        if kept.size == 0:
+            raise DataFormatError(
+                f"{stats.name}: no item reaches min_support={min_support}")
+    else:
+        kept = np.arange(max(1, stats.n_items), dtype=np.int64)
+    sizes = (stats.item_supports[kept] if stats.n_items
+             else np.zeros(kept.size, dtype=np.int64))
+    remap = -np.ones(max(1, stats.n_items), dtype=np.int64)
+    remap[kept] = np.arange(kept.size)
+
+    universe = max(1, stats.n_transactions)
+    # The budget must also hold the fixed residents (hash family, result
+    # matrix); only what is left governs shard sizing and chunking.
+    available = working_budget(memory_budget, universe, int(kept.size))
+    if auto_chunk:
+        chunk_transactions = int(min(DEFAULT_CHUNK_TRANSACTIONS,
+                                     max(64, available // (4 * 600))))
+    if auto_items:
+        chunk_items = int(min(DEFAULT_CHUNK_ITEMS,
+                              max(1024, available // 160)))
+    packed = set_packed_bytes(sizes, universe, config)
+    ranges = plan_shard_ranges(packed, available)
+    bounds = np.array([hi for _, hi in ranges], dtype=np.int64)
+    r0 = int(min(
+        max(4, config.range_for_size(int(size), universe))
+        for size in sizes.tolist()
+    ))
+    shift = config.shift_for_universe(universe)
+    family = HashFamily.create(universe, shift=shift, rng=rng)
+
+    spill_dir = Path(spill_dir)
+    parts_dir = spill_dir / "tidlists"
+    parts_dir.mkdir(parents=True, exist_ok=True)
+    handles = {}
+    try:
+        for chunk in iter_fimi_chunks(source, chunk_transactions=chunk_transactions,
+                                      chunk_items=chunk_items,
+                                      max_transactions=max_transactions):
+            pair_blocks = []
+            for offset, items in enumerate(chunk.transactions):
+                if items.size == 0:
+                    continue
+                mapped = remap[items]
+                mapped = mapped[mapped >= 0]
+                if mapped.size == 0:
+                    continue
+                block = np.empty((mapped.size, 2), dtype=np.int64)
+                block[:, 0] = mapped
+                block[:, 1] = chunk.start_tid + offset
+                pair_blocks.append(block)
+            if not pair_blocks:
+                continue
+            pairs = np.concatenate(pair_blocks)
+            shard_of = np.searchsorted(bounds, pairs[:, 0], side="right")
+            for s in np.unique(shard_of).tolist():
+                handle = handles.get(s)
+                if handle is None:
+                    handle = handles[s] = (parts_dir / f"part_{s:04d}.bin").open("ab")
+                handle.write(np.ascontiguousarray(pairs[shard_of == s]).tobytes())
+    finally:
+        for handle in handles.values():
+            handle.close()
+
+    builder = ShardedCollectionBuilder(
+        spill_dir, universe, r0, family=family, config=config,
+        build_compute=build_compute, build_workers=build_workers,
+        memory_budget=available,
+    )
+    for s, (lo, hi) in enumerate(ranges):
+        part = parts_dir / f"part_{s:04d}.bin"
+        if part.exists():
+            data = np.fromfile(part, dtype=np.int64).reshape(-1, 2)
+        else:
+            data = np.zeros((0, 2), dtype=np.int64)
+        local = data[:, 0] - lo
+        order = np.argsort(local, kind="stable")  # appends keep tids ascending
+        tids_sorted = data[:, 1][order]
+        local_sorted = local[order]
+        # Free the sort intermediates before any batmap is built — together
+        # they are ~5x the tidlist data and would otherwise sit under the
+        # build's working set.
+        del data, local, order
+        cuts = np.searchsorted(local_sorted, np.arange(hi - lo + 1))
+        del local_sorted
+        tidlists = [tids_sorted[cuts[i]:cuts[i + 1]] for i in range(hi - lo)]
+        builder.add_shard(tidlists)
+        del tidlists, tids_sorted
+        if part.exists():
+            part.unlink()
+    shutil.rmtree(parts_dir, ignore_errors=True)
+
+    return StreamedPreprocessedData(
+        collection=builder.finalize(),
+        source=source,
+        stats=stats,
+        item_map=kept,
+        min_support=min_support,
+        max_transactions=max_transactions,
     )

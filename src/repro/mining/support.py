@@ -85,9 +85,11 @@ class MiningReport:
     tiles: int = 0
     #: Which engine produced the counts: "kernel" (simulated device),
     #: "batch" (serial host engine — also the small-input fallback of
-    #: compute="parallel"), "parallel" (multiprocess executor) or "host"
+    #: compute="parallel"), "parallel" (multiprocess executor), "host"
     #: (per-pair reference — the fallback for payload widths the packed
-    #: engines cannot represent).
+    #: engines cannot represent), or "sharded(<inner>)" for the
+    #: out-of-core pipeline (mine_stream), naming the engine its
+    #: shard-pair rectangles ran on.
     count_backend: str = "kernel"
     #: Which engine built the batmap collection: "host" (serial per-element
     #: inserter), "bulk" (vectorized round-based engine) or "parallel"

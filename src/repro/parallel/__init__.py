@@ -20,6 +20,7 @@ from repro.parallel.executor import (
     recommended_backend,
     resolve_worker_count,
 )
+from repro.parallel.sharded import ShardedPairCounter
 from repro.parallel.scaling import (
     ScalingPoint,
     measure_split_scaling,
@@ -37,6 +38,7 @@ __all__ = [
     "merge_part_counts",
     "relative_speedups",
     "ParallelPairCounter",
+    "ShardedPairCounter",
     "SharedDeviceBuffer",
     "auto_tile_edge",
     "measure_executor_scaling",

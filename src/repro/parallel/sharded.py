@@ -1,0 +1,225 @@
+"""Shard-aware tile scheduling: stream shard-pair rectangles through the counters.
+
+The multiprocess executor (:mod:`repro.parallel.executor`) fans tiles of one
+in-memory packed buffer out over shared memory.  This module is its
+out-of-core counterpart for a :class:`~repro.core.sharded.ShardedCollection`:
+the ``n x n`` pair space decomposes into shard-pair rectangles (upper
+triangle of shard pairs only, by symmetry), each rectangle is tiled, and
+every tile is answered by the very same width-class SWAR engine — serially
+with at most two shards attached, or across a process pool whose workers
+re-attach spilled shards by **memory mapping** (the page cache plays the
+role the shared-memory segment plays for the in-memory executor).  Counts
+are bit-identical to both in-memory engines on every workload.
+
+Backend choice routes through the workload planner
+(:func:`repro.core.plan.plan_counts`): small collections or single-core
+hosts stay serial, everything else fans out — the same policy every other
+integration point shares.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.batch import DEFAULT_BLOCK_WORDS, WidthClassIndex
+from repro.core.plan import PlanFeatures, plan_counts
+from repro.kernels.tiling import TileScheduler
+from repro.parallel.executor import DEFAULT_TILE_CAP, resolve_worker_count
+from repro.parallel.scaling import merge_part_counts
+from repro.utils.validation import require, require_positive
+
+__all__ = [
+    "WORKER_SHARD_CACHE",
+    "block_words_for_budget",
+    "ShardedPairCounter",
+]
+
+#: Shards a pool worker keeps attached at once.  Memory-mapped attachments
+#: are cheap to reopen (the pages stay in the OS cache), so a small cache
+#: only avoids re-parsing the ``.npy`` headers and rebuilding the
+#: width-class metadata between consecutive tiles of one rectangle.
+WORKER_SHARD_CACHE = 3
+
+
+def block_words_for_budget(memory_budget=None) -> int:
+    """SWAR block budget honouring a resident-set ceiling.
+
+    The broadcast comparison keeps a handful of ``block_words``-sized uint64
+    temporaries alive; dividing the budget by 128 keeps their total around a
+    quarter of the ceiling.  Without a budget the cache-sized default
+    applies unchanged.
+    """
+    if memory_budget is None:
+        return DEFAULT_BLOCK_WORDS
+    require_positive(memory_budget, "memory_budget")
+    return int(min(DEFAULT_BLOCK_WORDS, max(1 << 12, memory_budget // 128)))
+
+
+# --------------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------------- #
+_worker_spill_dir = None
+_worker_block_words = DEFAULT_BLOCK_WORDS
+_worker_indexes: dict = {}
+
+
+def _init_sharded_worker(spill_dir: str, block_words: int) -> None:
+    global _worker_spill_dir, _worker_block_words, _worker_indexes
+    _worker_spill_dir = Path(spill_dir)
+    _worker_block_words = int(block_words)
+    _worker_indexes = {}
+
+
+def _worker_index_for(shard_dir: str) -> WidthClassIndex:
+    """Attach (or reuse) one spilled shard inside a pool worker."""
+    index = _worker_indexes.get(shard_dir)
+    if index is None:
+        directory = _worker_spill_dir / shard_dir
+        index = WidthClassIndex(
+            np.load(directory / "words.npy", mmap_mode="r"),
+            np.load(directory / "offsets.npy"),
+            np.load(directory / "widths.npy"),
+            block_words=_worker_block_words,
+        )
+        if len(_worker_indexes) >= WORKER_SHARD_CACHE:
+            _worker_indexes.pop(next(iter(_worker_indexes)))
+        _worker_indexes[shard_dir] = index
+    return index
+
+
+def _sharded_tile(p, q, dir_p, dir_q, row_lo, row_hi, col_lo, col_hi) -> dict:
+    """One tile of the (shard p) x (shard q) rectangle, keyed for the merge."""
+    idx_p = _worker_index_for(dir_p)
+    rows = np.arange(row_lo, row_hi)
+    cols = np.arange(col_lo, col_hi)
+    if p == q:
+        block = idx_p.cross_slots(rows, cols)
+    else:
+        block = idx_p.cross_index(_worker_index_for(dir_q), rows, cols)
+    return {(p, q, row_lo, col_lo): block}
+
+
+# --------------------------------------------------------------------------- #
+# Parent side
+# --------------------------------------------------------------------------- #
+class ShardedPairCounter:
+    """All-pairs counting over a spilled :class:`ShardedCollection`.
+
+    ``compute`` mirrors the collection API: ``"batch"`` streams shard pairs
+    serially with at most two shards attached; ``"parallel"`` fans tiles to
+    a process pool (falling back to serial below the pool pay-off floor);
+    ``"auto"`` asks the workload planner.  ``memory_budget`` additionally
+    shrinks the SWAR block budget so counting temporaries respect the same
+    ceiling the shards were sized for.
+    """
+
+    def __init__(
+        self,
+        sharded,
+        *,
+        compute: str = "auto",
+        workers=None,
+        tile_size=None,
+        memory_budget=None,
+        mp_context=None,
+    ) -> None:
+        require(compute in ("auto", "batch", "host", "parallel"),
+                f"compute must be 'auto', 'batch', 'host' or 'parallel', got {compute!r}")
+        require(sharded.n_shards > 0, "cannot count an empty sharded collection")
+        if tile_size is not None:
+            require_positive(tile_size, "tile_size")
+        self.sharded = sharded
+        self.workers = resolve_worker_count(workers)
+        self.tile_size = tile_size
+        if memory_budget is not None:
+            # The dense result matrix is resident throughout counting; only
+            # the remainder bounds the SWAR temporaries.
+            memory_budget = max(1, memory_budget - 8 * sharded.n_sets ** 2)
+        self.block_words = block_words_for_budget(memory_budget)
+        self._mp_context = mp_context
+        requested = {"auto": "auto", "host": "batch", "batch": "batch",
+                     "parallel": "parallel"}[compute]
+        features = PlanFeatures(
+            n_sets=sharded.n_sets,
+            total_words=sharded.total_words,
+            r0=sharded.r0,
+            byte_entries=True,
+        )
+        self.plan = plan_counts(features, requested=requested, workers=workers)
+
+    # ------------------------------------------------------------------ #
+    def _tile_edge(self) -> int:
+        if self.tile_size is not None:
+            return self.tile_size
+        largest = max(shard.n_sets for shard in self.sharded.shards)
+        return max(32, min(DEFAULT_TILE_CAP, largest))
+
+    def counts(self) -> np.ndarray:
+        """Dense ``n x n`` count matrix in original (global) set order."""
+        if self.plan.backend == "parallel":
+            return self._counts_parallel()
+        return self._counts_serial()
+
+    def _counts_serial(self) -> np.ndarray:
+        n = self.sharded.n_sets
+        shards = self.sharded.shards
+        out = np.zeros((n, n), dtype=np.int64)
+        for p in range(len(shards)):
+            idx_p = self.sharded.attach(p, block_words=self.block_words)
+            rows_global = shards[p].global_order
+            out[np.ix_(rows_global, rows_global)] = idx_p.all_pairs()
+            for q in range(p + 1, len(shards)):
+                idx_q = self.sharded.attach(q, block_words=self.block_words)
+                rect = idx_p.cross_index(idx_q)
+                cols_global = shards[q].global_order
+                out[np.ix_(rows_global, cols_global)] = rect
+                out[np.ix_(cols_global, rows_global)] = rect.T
+                del idx_q
+            del idx_p
+        return out
+
+    def _counts_parallel(self) -> np.ndarray:
+        n = self.sharded.n_sets
+        shards = self.sharded.shards
+        edge = self._tile_edge()
+        tasks = []
+        for p in range(len(shards)):
+            dir_p = shards[p].directory.name
+            for q in range(p, len(shards)):
+                dir_q = shards[q].directory.name
+                if p == q:
+                    for t in TileScheduler(shards[p].n_sets, edge):
+                        tasks.append((p, q, dir_p, dir_q, t.row_start, t.row_end,
+                                      t.col_start, t.col_end))
+                else:
+                    for r_lo in range(0, shards[p].n_sets, edge):
+                        r_hi = min(r_lo + edge, shards[p].n_sets)
+                        for c_lo in range(0, shards[q].n_sets, edge):
+                            c_hi = min(c_lo + edge, shards[q].n_sets)
+                            tasks.append((p, q, dir_p, dir_q, r_lo, r_hi, c_lo, c_hi))
+        ctx = self._mp_context or multiprocessing.get_context()
+        with ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=ctx,
+            initializer=_init_sharded_worker,
+            initargs=(str(self.sharded.spill_dir), self.block_words),
+        ) as pool:
+            futures = [pool.submit(_sharded_tile, *task) for task in tasks]
+            try:
+                parts = [future.result() for future in futures]
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
+        merged = merge_part_counts(parts)
+        out = np.zeros((n, n), dtype=np.int64)
+        for (p, q, row_lo, col_lo), block in merged.items():
+            rows_global = shards[p].global_order[row_lo:row_lo + block.shape[0]]
+            cols_global = shards[q].global_order[col_lo:col_lo + block.shape[1]]
+            out[np.ix_(rows_global, cols_global)] = block
+            out[np.ix_(cols_global, rows_global)] = block.T
+        return out

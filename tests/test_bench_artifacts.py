@@ -1,0 +1,78 @@
+"""Benchmark artifact records and the delta report script."""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.bench_delta import delta_line, load_artifacts
+from benchmarks.bench_delta import main as delta_main
+from benchmarks.harness import BenchArtifact, git_sha, scale_knobs
+
+
+class TestBenchArtifact:
+    def test_payload_fields(self):
+        artifact = BenchArtifact("speed_test", wall_seconds=2.0)
+        artifact.add("speedup", 12.5)
+        payload = artifact.payload()
+        assert payload["name"] == "speed_test"
+        assert payload["wall_seconds"] == 2.0
+        assert payload["speedup"] == 12.5
+        # no declared item count -> no fabricated throughput
+        assert "throughput_items_per_second" not in payload
+        assert isinstance(payload["scale"], dict)
+        assert "total_items" in payload["scale"]
+        assert payload["git_sha"]  # "unknown" at worst, never empty
+
+    def test_throughput_from_declared_processed_items(self):
+        artifact = BenchArtifact("tp", wall_seconds=2.0)
+        artifact.add("total_items_processed", 1000)
+        assert artifact.payload()["throughput_items_per_second"] == 500.0
+
+    def test_write_creates_named_json(self, tmp_path):
+        path = BenchArtifact("fig9", wall_seconds=1.0).write(tmp_path)
+        assert path == tmp_path / "BENCH_fig9.json"
+        assert json.loads(path.read_text())["name"] == "fig9"
+
+    def test_scale_knobs_include_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_CUSTOM_KNOB", "7")
+        assert scale_knobs()["REPRO_BENCH_CUSTOM_KNOB"] == "7"
+
+    def test_git_sha_prefers_ci_env(self, monkeypatch):
+        monkeypatch.setenv("GITHUB_SHA", "cafe1234")
+        assert git_sha() == "cafe1234"
+
+
+class TestBenchDelta:
+    def write(self, directory, name, wall, scale=None):
+        directory.mkdir(exist_ok=True)
+        (directory / f"BENCH_{name}.json").write_text(json.dumps({
+            "name": name,
+            "wall_seconds": wall,
+            "scale": scale or {"total_items": 1000},
+        }))
+
+    def test_delta_against_previous(self, tmp_path):
+        self.write(tmp_path / "cur", "a", 1.2)
+        self.write(tmp_path / "prev", "a", 1.0)
+        current = load_artifacts(tmp_path / "cur")
+        previous = load_artifacts(tmp_path / "prev")
+        line = delta_line("BENCH_a", current["BENCH_a"], previous["BENCH_a"])
+        assert "+20.0%" in line
+
+    def test_no_previous_run(self, tmp_path):
+        self.write(tmp_path / "cur", "a", 1.2)
+        current = load_artifacts(tmp_path / "cur")
+        assert "no previous run" in delta_line("BENCH_a", current["BENCH_a"], None)
+
+    def test_scale_mismatch_not_compared(self):
+        line = delta_line("BENCH_a", {"wall_seconds": 1.0, "scale": {"x": 1}},
+                          {"wall_seconds": 9.0, "scale": {"x": 2}})
+        assert "not comparable" in line
+
+    def test_main_never_fails_on_reporting(self, tmp_path, capsys):
+        self.write(tmp_path / "cur", "a", 1.0)
+        assert delta_main([str(tmp_path / "cur")]) == 0
+        assert delta_main([str(tmp_path / "cur"), str(tmp_path / "missing")]) == 0
+        assert delta_main([str(tmp_path / "nothing")]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_a" in out

@@ -1,0 +1,172 @@
+"""Streaming FIMI readers: chunk iteration, stats scan, edge-case inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DataFormatError, DatasetError
+from repro.datasets.fimi_io import parse_fimi_line, read_fimi, write_fimi
+from repro.datasets.streaming import (
+    FimiStats,
+    collect_transactions,
+    iter_fimi_chunks,
+    scan_fimi_stats,
+)
+from repro.datasets.synthetic import generate_density_instance
+
+
+def fimi_file(tmp_path, text, name="data.fimi"):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestChunkIteration:
+    def test_matches_in_memory_reader(self, tmp_path):
+        db = generate_density_instance(24, 0.3, 2000, rng=0)
+        path = fimi_file(tmp_path, "")
+        write_fimi(db, path)
+        expected = read_fimi(path)
+        streamed = [
+            t
+            for chunk in iter_fimi_chunks(path, chunk_transactions=7)
+            for t in chunk.transactions
+        ]
+        assert len(streamed) == expected.n_transactions
+        for mine, theirs in zip(streamed, expected.transactions):
+            np.testing.assert_array_equal(mine, theirs)
+
+    def test_chunk_tids_are_global(self, tmp_path):
+        path = fimi_file(tmp_path, "1 2\n3\n4 5\n6\n7\n")
+        chunks = list(iter_fimi_chunks(path, chunk_transactions=2))
+        assert [c.start_tid for c in chunks] == [0, 2, 4]
+        assert [c.end_tid for c in chunks] == [2, 4, 5]
+        np.testing.assert_array_equal(chunks[1].tids(), [2, 3])
+
+    def test_empty_file_yields_no_chunks(self, tmp_path):
+        path = fimi_file(tmp_path, "")
+        assert list(iter_fimi_chunks(path)) == []
+
+    def test_blank_lines_and_comments_skipped_without_tid(self, tmp_path):
+        path = fimi_file(tmp_path, "# header\n1 2\n\n   \n3 4\n\t\n# trailer\n5\n")
+        chunks = list(iter_fimi_chunks(path, chunk_transactions=2))
+        all_t = [t for c in chunks for t in c.transactions]
+        assert len(all_t) == 3
+        assert chunks[-1].end_tid == 3
+
+    def test_trailing_whitespace_and_final_line_without_newline(self, tmp_path):
+        path = fimi_file(tmp_path, "1 2  \n3 4\t \n5 6")
+        ts = [t for c in iter_fimi_chunks(path) for t in c.transactions]
+        assert len(ts) == 3
+        np.testing.assert_array_equal(ts[2], [5, 6])
+
+    def test_single_transaction_file(self, tmp_path):
+        path = fimi_file(tmp_path, "41 12 7\n")
+        chunks = list(iter_fimi_chunks(path))
+        assert len(chunks) == 1
+        assert chunks[0].start_tid == 0
+        np.testing.assert_array_equal(chunks[0].transactions[0], [7, 12, 41])
+
+    def test_duplicate_items_deduplicated_like_in_memory(self, tmp_path):
+        path = fimi_file(tmp_path, "5 5 3 3 3\n")
+        (chunk,) = iter_fimi_chunks(path)
+        np.testing.assert_array_equal(chunk.transactions[0], [3, 5])
+
+    def test_chunk_items_cap_flushes_long_transactions(self, tmp_path):
+        lines = " ".join(str(i) for i in range(50))
+        path = fimi_file(tmp_path, "\n".join([lines] * 6) + "\n")
+        chunks = list(iter_fimi_chunks(path, chunk_transactions=100, chunk_items=100))
+        # 50 items per transaction, cap 100 -> two transactions per chunk
+        assert [c.n_transactions for c in chunks] == [2, 2, 2]
+
+    def test_max_transactions(self, tmp_path):
+        path = fimi_file(tmp_path, "1\n2\n3\n4\n")
+        ts = [t for c in iter_fimi_chunks(path, max_transactions=2)
+              for t in c.transactions]
+        assert len(ts) == 2
+
+    def test_accepts_line_iterables(self):
+        chunks = list(iter_fimi_chunks(["1 2\n", "3\n"], chunk_transactions=1))
+        assert len(chunks) == 2
+
+    def test_malformed_token_raises_dataset_error_with_location(self, tmp_path):
+        path = fimi_file(tmp_path, "1 2\n3 x\n", name="bad.fimi")
+        with pytest.raises(DataFormatError, match=r"bad: line 2: non-integer"):
+            list(iter_fimi_chunks(path))
+        # DataFormatError is a DatasetError: one except clause covers readers
+        with pytest.raises(DatasetError):
+            list(iter_fimi_chunks(path))
+
+    def test_negative_item_id_raises(self, tmp_path):
+        path = fimi_file(tmp_path, "1 -2\n")
+        with pytest.raises(DataFormatError, match="negative item id"):
+            list(iter_fimi_chunks(path))
+
+    def test_parse_fimi_line_shared_semantics(self):
+        assert parse_fimi_line("  \n", 1) is None
+        assert parse_fimi_line("# c\n", 1) is None
+        np.testing.assert_array_equal(parse_fimi_line("2 1\n", 1), [1, 2])
+        with pytest.raises(DataFormatError, match="src: line 9"):
+            parse_fimi_line("a\n", 9, "src")
+
+
+class TestScanStats:
+    def test_matches_database_statistics(self, tmp_path):
+        db = generate_density_instance(40, 0.2, 4000, rng=1)
+        path = tmp_path / "scan.fimi"
+        write_fimi(db, path)
+        stats = scan_fimi_stats(path, chunk_transactions=13)
+        assert stats.n_transactions == db.n_transactions
+        assert stats.n_items == db.n_items
+        assert stats.total_items == db.total_items
+        np.testing.assert_array_equal(stats.item_supports, db.item_supports())
+        assert stats.density == pytest.approx(db.density)
+
+    def test_chunk_size_invariance(self, tmp_path):
+        db = generate_density_instance(20, 0.3, 1500, rng=2)
+        path = tmp_path / "inv.fimi"
+        write_fimi(db, path)
+        small = scan_fimi_stats(path, chunk_transactions=1)
+        large = scan_fimi_stats(path, chunk_transactions=10_000)
+        assert small.n_transactions == large.n_transactions
+        np.testing.assert_array_equal(small.item_supports, large.item_supports)
+
+    def test_empty_stream(self, tmp_path):
+        path = fimi_file(tmp_path, "# only a comment\n\n")
+        stats = scan_fimi_stats(path)
+        assert isinstance(stats, FimiStats)
+        assert stats.n_transactions == 0
+        assert stats.n_items == 0
+        assert stats.total_items == 0
+        assert stats.item_supports.size == 0
+
+    def test_support_array_growth_across_chunks(self, tmp_path):
+        # item ids force repeated geometric growth of the supports array
+        path = fimi_file(tmp_path, "1\n2000\n1\n5000\n2000\n")
+        stats = scan_fimi_stats(path, chunk_transactions=1)
+        assert stats.n_items == 5001
+        assert stats.item_supports[1] == 2
+        assert stats.item_supports[2000] == 2
+        assert stats.item_supports[5000] == 1
+        assert stats.item_supports.sum() == stats.total_items
+
+
+class TestCollectTransactions:
+    def test_sparse_extraction(self, tmp_path):
+        path = fimi_file(tmp_path, "1 2\n3 4\n5 6\n7 8\n")
+        got = collect_transactions(path, [0, 2], chunk_transactions=1)
+        assert sorted(got) == [0, 2]
+        np.testing.assert_array_equal(got[2], [5, 6])
+
+    def test_missing_and_empty_requests(self, tmp_path):
+        path = fimi_file(tmp_path, "1 2\n")
+        assert collect_transactions(path, []) == {}
+        assert collect_transactions(path, [99]) == {}
+
+    def test_stops_after_last_requested_tid(self, tmp_path):
+        path = fimi_file(tmp_path, "1\n2\n3 x\n")
+        # tid 2 is on the malformed line; requesting only earlier tids must
+        # not force a parse of the rest of the file
+        got = collect_transactions(path, [0], chunk_transactions=1)
+        np.testing.assert_array_equal(got[0], [1])
