@@ -1,0 +1,146 @@
+"""Serving latency under concurrent load (E17).
+
+N synchronous clients (one thread each, the closed-loop load model) hammer a
+:class:`~repro.serve.server.BackgroundServer` with pairwise-count queries and
+record client-observed latency per request.  The run reports p50/p99 for two
+arms — request coalescing on (``max_batch`` default) and off
+(``max_batch=1``) — plus a cache arm that repeats one query, all through the
+``BENCH_*.json`` artifact pipeline.
+
+Every response is checked bit-identical to the direct
+:class:`~repro.serve.engine.SpillQueryEngine` answer computed up front, so
+the latency numbers can never come from a server that silently serves wrong
+results under concurrency.
+
+Scale knobs: ``REPRO_BENCH_SERVE_CLIENTS`` (concurrent clients),
+``REPRO_BENCH_SERVE_REQUESTS`` (requests per client),
+``REPRO_BENCH_SERVE_SETS`` / ``REPRO_BENCH_SERVE_UNIVERSE`` (artifact size).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.sharded import ShardedCollection
+from repro.serve.client import ServeClient
+from repro.serve.engine import SpillQueryEngine
+from repro.serve.metrics import percentile
+from repro.serve.server import BackgroundServer
+from repro.utils.memory import parse_memory_size
+
+pytestmark = pytest.mark.bench
+
+N_CLIENTS = int(os.environ.get("REPRO_BENCH_SERVE_CLIENTS", 4))
+REQUESTS_PER_CLIENT = int(os.environ.get("REPRO_BENCH_SERVE_REQUESTS", 50))
+N_SETS = int(os.environ.get("REPRO_BENCH_SERVE_SETS", 48))
+UNIVERSE = int(os.environ.get("REPRO_BENCH_SERVE_UNIVERSE", 2048))
+SEED = 13
+
+
+def build_spill(tmp_path):
+    rng = np.random.default_rng(7)
+    sets = [np.sort(rng.choice(UNIVERSE, size=int(rng.integers(8, UNIVERSE // 4)),
+                               replace=False))
+            for _ in range(N_SETS)]
+    spill_dir = tmp_path / "spill"
+    ShardedCollection.build(sets, UNIVERSE, spill_dir, rng=SEED,
+                            memory_budget=parse_memory_size("128M"),
+                            max_sets_per_shard=max(4, N_SETS // 4))
+    return spill_dir
+
+
+def drive_load(server, expected):
+    """Closed-loop load: every client thread reports (latencies, mismatches)."""
+    pairs = list(expected)
+
+    def one_client(client_id, out):
+        rng = np.random.default_rng(client_id)
+        latencies, mismatches = [], 0
+        with ServeClient(server.host, server.port) as client:
+            for _ in range(REQUESTS_PER_CLIENT):
+                pair = pairs[int(rng.integers(len(pairs)))]
+                start = time.perf_counter()
+                result = client.count([pair])
+                latencies.append(time.perf_counter() - start)
+                if result != [expected[pair]]:
+                    mismatches += 1
+        out.append((latencies, mismatches))
+
+    results: list = []
+    threads = [threading.Thread(target=one_client, args=(c, results))
+               for c in range(N_CLIENTS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=600)
+    assert len(results) == N_CLIENTS, "a client thread died or timed out"
+    latencies = [s for lat, _ in results for s in lat]
+    assert sum(m for _, m in results) == 0, "served result != direct engine call"
+    return latencies
+
+
+def test_serve_latency_under_concurrency(tmp_path, bench_artifact):
+    spill_dir = build_spill(tmp_path)
+
+    # Ground truth once, from the direct engine attachment.
+    engine = SpillQueryEngine(ShardedCollection.from_spill(spill_dir))
+    all_pairs = [(i, j) for i in range(N_SETS) for j in range(i + 1, N_SETS)]
+    counts = engine.count_pairs(np.asarray(all_pairs, dtype=np.int64))
+    expected = {pair: int(count) for pair, count in zip(all_pairs, counts)}
+    engine.close()
+
+    arms = {}
+    for arm, max_batch in (("batched", None), ("unbatched", 1)):
+        kwargs = {"cache_entries": 0}          # isolate batching from caching
+        if max_batch is not None:
+            kwargs["max_batch"] = max_batch
+        with BackgroundServer(spill_dir, **kwargs) as server:
+            latencies = drive_load(server, expected)
+        metrics = server.final_metrics
+        assert metrics is not None
+        arms[arm] = {
+            "p50_ms": percentile(latencies, 50) * 1e3,
+            "p99_ms": percentile(latencies, 99) * 1e3,
+            "mean_batch_size": metrics["mean_batch_size"],
+            "max_batch_size": metrics["max_batch_size"],
+            "requests": metrics["requests_total"],
+        }
+    assert arms["unbatched"]["max_batch_size"] == 1
+    assert arms["batched"]["requests"] == N_CLIENTS * REQUESTS_PER_CLIENT
+
+    # Cache arm: one hot query repeated; hits must dominate and stay correct.
+    hot = all_pairs[0]
+    with BackgroundServer(spill_dir) as server:
+        with ServeClient(server.host, server.port) as client:
+            hot_latencies = []
+            for _ in range(REQUESTS_PER_CLIENT):
+                start = time.perf_counter()
+                assert client.count([hot]) == [expected[hot]]
+                hot_latencies.append(time.perf_counter() - start)
+            cache = client.metrics()["cache"]
+    assert cache["hits"] >= REQUESTS_PER_CLIENT - 1
+    cache_arm = {
+        "p50_ms": percentile(hot_latencies, 50) * 1e3,
+        "hit_rate": cache["hit_rate"],
+    }
+
+    bench_artifact.add("clients", N_CLIENTS)
+    bench_artifact.add("requests_per_client", REQUESTS_PER_CLIENT)
+    bench_artifact.add("n_sets", N_SETS)
+    bench_artifact.add("universe", UNIVERSE)
+    bench_artifact.add("serve_batched", arms["batched"])
+    bench_artifact.add("serve_unbatched", arms["unbatched"])
+    bench_artifact.add("serve_cached", cache_arm)
+
+    print(f"\nserve latency, {N_CLIENTS} clients x {REQUESTS_PER_CLIENT} requests:")
+    for arm, record in arms.items():
+        print(f"  {arm:>9}: p50 {record['p50_ms']:.2f} ms  "
+              f"p99 {record['p99_ms']:.2f} ms  "
+              f"mean batch {record['mean_batch_size']:.2f}")
+    print(f"     cached: p50 {cache_arm['p50_ms']:.2f} ms  "
+          f"hit rate {cache_arm['hit_rate']:.2f}")

@@ -33,7 +33,22 @@ subcommands cover the workflows a downstream user actually runs:
     sets (or ``--multiway``) route through the batched multi-way probe path
     of :mod:`repro.extensions.multiway`.
 
-All three are also exposed through ``python -m repro.cli <subcommand> ...``.
+``repro build-index``
+    Run the out-of-core preprocessing pipeline alone: stream a FIMI file,
+    build the batmap shards and leave the spill artifact (packed buffers,
+    manifest, persisted hash family, item map) at a caller-chosen
+    directory — no mining.  The artifact is what ``repro serve`` attaches.
+
+``repro serve``
+    Serve membership, pairwise/multiway intersection and top-k-similarity
+    queries over a spill artifact on a long-lived TCP socket
+    (line-delimited JSON; see :mod:`repro.serve` and ``docs/serving.md``).
+
+``repro query``
+    One-shot client: send a single JSON request to a running server and
+    print the response line.
+
+All subcommands are also exposed through ``python -m repro.cli <subcommand> ...``.
 """
 
 from __future__ import annotations
@@ -64,14 +79,21 @@ from repro.datasets.webdocs import generate_webdocs_like
 from repro.extensions.multiway import multiway_intersection
 from repro.mining.itemsets import BatmapItemsetMiner
 from repro.mining.pair_mining import BatmapPairMiner
+from repro.serve.server import (
+    DEFAULT_CACHE_ENTRIES,
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_QUEUE,
+    DEFAULT_REQUEST_TIMEOUT,
+)
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "subcommand_parsers"]
 
 
 # --------------------------------------------------------------------------- #
 # Parser
 # --------------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level ``repro`` argument parser with every subcommand."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="BATMAP set intersection / frequent pair mining toolkit",
@@ -156,7 +178,74 @@ def build_parser() -> argparse.ArgumentParser:
     inter.add_argument("--multiway", action="store_true",
                        help="force the multi-way batmap probe path "
                             "(implied when more than two sets are given)")
+
+    build = sub.add_parser(
+        "build-index",
+        help="build a servable spill artifact from a FIMI file (no mining)")
+    build.add_argument("input", type=Path, help="FIMI-format transaction file")
+    build.add_argument("spill_dir", type=Path,
+                       help="output directory for the spill artifact")
+    build.add_argument("--min-support", type=int, default=1,
+                       help="drop items below this support before building "
+                            "(default 1: keep everything servable)")
+    build.add_argument("--memory-budget", default="256M", metavar="SIZE",
+                       help="resident-set ceiling while building, e.g. 64M "
+                            "or 2G (sizes the spilled shards; default 256M)")
+    build.add_argument("--seed", type=int, default=0,
+                       help="hash-family seed (recorded in the artifact)")
+    build.add_argument("--build-compute",
+                       choices=["auto", "host", "bulk", "parallel"],
+                       default="auto",
+                       help="batmap construction backend "
+                            "(see `repro mine --help`)")
+    build.add_argument("--build-workers", type=int, default=None,
+                       help="worker processes for --build-compute parallel")
+    build.add_argument("--max-transactions", type=int, default=None)
+
+    serve = sub.add_parser(
+        "serve", help="serve queries over a spill artifact (JSON over TCP)")
+    serve.add_argument("spill_dir", type=Path,
+                       help="spill artifact directory (from `repro build-index` "
+                            "or `repro mine --stream` with a kept spill)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0: bind an ephemeral port and "
+                            "print it)")
+    serve.add_argument("--max-batch", type=int, default=DEFAULT_MAX_BATCH,
+                       help="most requests coalesced into one vectorized "
+                            "engine call (1 disables batching)")
+    serve.add_argument("--max-queue", type=int, default=DEFAULT_MAX_QUEUE,
+                       help="bounded request-queue capacity; a full queue "
+                            "answers 'overloaded' instead of blocking")
+    serve.add_argument("--timeout", type=float, default=DEFAULT_REQUEST_TIMEOUT,
+                       help="per-request deadline in seconds")
+    serve.add_argument("--cache-entries", type=int, default=DEFAULT_CACHE_ENTRIES,
+                       help="LRU result-cache capacity (0 disables caching)")
+    serve.add_argument("--max-requests", type=int, default=None,
+                       help="shut down after this many request lines "
+                            "(finite sessions for smoke tests)")
+
+    query = sub.add_parser(
+        "query", help="send one JSON request to a running server")
+    query.add_argument("address", help="server address as HOST:PORT")
+    query.add_argument("request",
+                       help="one request as JSON, e.g. "
+                            "'{\"op\": \"count\", \"pairs\": [[0, 1]]}'")
+    query.add_argument("--timeout", type=float, default=60.0,
+                       help="socket timeout in seconds")
     return parser
+
+
+def subcommand_parsers() -> dict:
+    """Map each subcommand name to its :class:`argparse.ArgumentParser`.
+
+    The CLI help snapshot tests render every subparser's ``format_help()``
+    through this accessor instead of spawning one process per subcommand.
+    """
+    parser = build_parser()
+    actions = [a for a in parser._actions
+               if isinstance(a, argparse._SubParsersAction)]
+    return dict(actions[0].choices)
 
 
 # --------------------------------------------------------------------------- #
@@ -451,6 +540,111 @@ def _cmd_intersect(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_build_index(args: argparse.Namespace, out) -> int:
+    """Build a servable spill artifact from a FIMI file, without mining."""
+    from repro.mining.preprocess import preprocess_streaming
+    from repro.utils.memory import parse_memory_size
+
+    try:
+        budget = parse_memory_size(args.memory_budget)
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    start = time.perf_counter()
+    pre = preprocess_streaming(
+        args.input,
+        args.spill_dir,
+        memory_budget=budget,
+        min_support=args.min_support,
+        rng=args.seed,
+        build_compute=args.build_compute,
+        build_workers=args.build_workers,
+        max_transactions=args.max_transactions,
+    )
+    np.save(Path(args.spill_dir) / "item_map.npy", pre.item_map)
+    elapsed = time.perf_counter() - start
+    collection = pre.collection
+    print(f"indexed {len(collection)} sets over universe "
+          f"{collection.universe_size} in {elapsed:.3f}s wall clock", file=out)
+    print(f"spill artifact: {args.spill_dir} ({collection.n_shards} shard(s), "
+          f"{collection.total_packed_bytes} packed bytes)", file=out)
+    print(f"serve it with: repro serve {args.spill_dir}", file=out)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    """Attach a spill artifact and serve queries until interrupted."""
+    import asyncio
+
+    from repro.serve.server import BatmapServer
+
+    server = BatmapServer(
+        args.spill_dir,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+        request_timeout=args.timeout,
+        cache_entries=args.cache_entries,
+        max_requests=args.max_requests,
+    )
+
+    async def _run() -> dict:
+        host, port = await server.start()
+        stats = server.engine.stats()
+        print(f"attached {stats['n_sets']} sets "
+              f"({stats['n_shards']} shard(s), "
+              f"{stats['total_packed_bytes']} packed bytes) from {args.spill_dir}",
+              file=out, flush=True)
+        print(f"serving on {host}:{port}", file=out, flush=True)
+        await server.serve_until_shutdown()
+        return server.metrics.snapshot()
+
+    try:
+        snapshot = asyncio.run(_run())
+    except KeyboardInterrupt:
+        snapshot = server.metrics.snapshot()
+    n_errors = sum(snapshot["errors_by_code"].values())
+    print(f"served {snapshot['requests_total'] + n_errors} requests "
+          f"({n_errors} errors)", file=out, flush=True)
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace, out) -> int:
+    """Send one JSON request line to a running server and print the reply."""
+    import json
+
+    from repro.serve.client import ServeClient, ServeError
+
+    host, sep, port_text = args.address.rpartition(":")
+    if not sep or not port_text.isdigit():
+        print(f"error: address must be HOST:PORT, got {args.address!r}",
+              file=out)
+        return 2
+    try:
+        request = json.loads(args.request)
+    except json.JSONDecodeError as exc:
+        print(f"error: request is not valid JSON: {exc}", file=out)
+        return 2
+    if not isinstance(request, dict) or not isinstance(request.get("op"), str):
+        print("error: request must be a JSON object with an \"op\" key",
+              file=out)
+        return 2
+    op = request.pop("op")
+    request.pop("id", None)  # the client assigns its own ids
+    try:
+        with ServeClient(host, int(port_text), timeout=args.timeout) as client:
+            result = client.request(op, **request)
+    except ServeError as exc:
+        print(f"error [{exc.code}]: {exc.message}", file=out)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach {args.address}: {exc}", file=out)
+        return 2
+    print(json.dumps(result, separators=(",", ":")), file=out)
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 def main(argv: list[str] | None = None, out=None) -> int:
     """Entry point; returns a process exit code.
@@ -468,6 +662,12 @@ def main(argv: list[str] | None = None, out=None) -> int:
             return _cmd_generate(args, out)
         if args.command == "intersect":
             return _cmd_intersect(args, out)
+        if args.command == "build-index":
+            return _cmd_build_index(args, out)
+        if args.command == "serve":
+            return _cmd_serve(args, out)
+        if args.command == "query":
+            return _cmd_query(args, out)
     except DatasetError as exc:
         print(f"error: {exc}", file=out)
         return 2

@@ -388,6 +388,49 @@ class WidthClassIndex:
             out[mask] = acc
         return out
 
+    def pairwise_index(self, other: "WidthClassIndex", a_slots, b_slots) -> np.ndarray:
+        """Aligned cross-buffer counts: *this* slot ``a_slots[k]`` vs ``other``'s ``b_slots[k]``.
+
+        The pairs-list counterpart of :meth:`cross_index`: each requested pair
+        straddles two packed buffers (e.g. two spilled shards), and pairs are
+        grouped by their (width, width) class combination so every group runs
+        as one vectorised row-aligned fold instead of a dense rectangle.  As
+        with :meth:`cross_index`, both buffers must be interleaved at the same
+        granularity ``r0``; width nesting is checked here.  With
+        ``other is self`` this matches :meth:`pairwise_slots` exactly.
+        """
+        a_slots = np.asarray(a_slots, dtype=np.int64).ravel()
+        b_slots = np.asarray(b_slots, dtype=np.int64).ravel()
+        require(a_slots.size == b_slots.size,
+                "pairwise_index operands must have the same length")
+        out = np.empty(a_slots.size, dtype=np.int64)
+        if a_slots.size == 0:
+            return out
+        merged = np.unique(np.concatenate([self.class_widths, other.class_widths]))
+        for small, large in zip(merged[:-1], merged[1:]):
+            require(int(large) % int(small) == 0,
+                    f"cross-buffer widths {int(large)} and {int(small)} do not nest; "
+                    "both shards must be packed from the same nested range family")
+        combos = np.stack([self.class_of[a_slots], other.class_of[b_slots]], axis=1)
+        for ci_idx, cj_idx in np.unique(combos, axis=0).tolist():
+            mask = (combos[:, 0] == ci_idx) & (combos[:, 1] == cj_idx)
+            a = self._rows(a_slots[mask], ci_idx)
+            b = other._rows(b_slots[mask], cj_idx)
+            width_a = int(self.class_widths[ci_idx])
+            width_b = int(other.class_widths[cj_idx])
+            if width_a >= width_b:
+                wide, narrow, width_small = a, b, width_b
+            else:
+                wide, narrow, width_small = b, a, width_a
+            reps = max(width_a, width_b) // width_small
+            acc = np.zeros(int(mask.sum()), dtype=np.int64)
+            narrow_w = _view_widest(narrow)
+            for block in range(reps):
+                sl = slice(block * width_small, (block + 1) * width_small)
+                acc += _match_count_rows(_view_widest(wide[:, sl]), narrow_w)
+            out[mask] = acc
+        return out
+
 
 class BatchPairCounter:
     """All-pairs / pairs-list / top-k intersection counts for one collection.

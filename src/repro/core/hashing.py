@@ -41,6 +41,8 @@ __all__ = [
     "FeistelPermutation",
     "HashFamily",
     "make_permutations",
+    "save_family",
+    "load_family",
 ]
 
 
@@ -355,3 +357,62 @@ class HashFamily:
     def max_payload(self) -> int:
         """Largest payload value this family can produce."""
         return ((self.universe_size - 1) >> self.shift) + 1
+
+
+# --------------------------------------------------------------------------- #
+# Persistence (``.npz``, no pickling — families ship inside serving artifacts)
+# --------------------------------------------------------------------------- #
+def save_family(path, family: HashFamily) -> None:
+    """Serialise a :class:`HashFamily` to an ``.npz`` archive.
+
+    Array permutations store their lookup table (the inverse is recomputed on
+    load); Feistel permutations store their keys and half width.  The format
+    deliberately avoids pickling so spill artifacts stay inspectable and safe
+    to load in a serving process.
+    """
+    arrays: dict[str, np.ndarray] = {
+        "universe_size": np.int64(family.universe_size),
+        "shift": np.int64(family.shift),
+    }
+    kinds = []
+    for t, perm in enumerate(family.permutations):
+        if isinstance(perm, ArrayPermutation):
+            kinds.append("array")
+            arrays[f"table_{t}"] = perm.table
+        elif isinstance(perm, FeistelPermutation):
+            kinds.append("feistel")
+            arrays[f"feistel_keys_{t}"] = np.asarray(perm.keys, dtype=np.int64)
+            arrays[f"feistel_half_bits_{t}"] = np.int64(perm.half_bits)
+        else:
+            raise TypeError(
+                f"cannot serialise permutation of type {type(perm).__name__}")
+    arrays["kinds"] = np.array(kinds)
+    np.savez(path, **arrays)
+
+
+def load_family(path) -> HashFamily:
+    """Load a :class:`HashFamily` saved by :func:`save_family`.
+
+    The loaded family compares structurally equal to the original, so batmaps
+    built before saving remain comparable with ones built after loading.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        universe_size = int(data["universe_size"])
+        shift = int(data["shift"])
+        perms: list[Permutation] = []
+        for t, kind in enumerate(data["kinds"].tolist()):
+            if kind == "array":
+                table = np.asarray(data[f"table_{t}"], dtype=np.int64)
+                inverse = np.empty(table.size, dtype=np.int64)
+                inverse[table] = np.arange(table.size, dtype=np.int64)
+                perms.append(ArrayPermutation(table=table, inverse=inverse))
+            elif kind == "feistel":
+                perms.append(FeistelPermutation(
+                    domain_size=universe_size,
+                    keys=tuple(int(k) for k in data[f"feistel_keys_{t}"]),
+                    half_bits=int(data[f"feistel_half_bits_{t}"]),
+                ))
+            else:
+                raise ValueError(f"unknown permutation kind {kind!r} in {path}")
+    return HashFamily(universe_size=universe_size,
+                      permutations=tuple(perms), shift=shift)

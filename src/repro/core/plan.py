@@ -108,6 +108,7 @@ class PlanFeatures:
 
     @classmethod
     def from_collection(cls, collection) -> "PlanFeatures":
+        """Summarise a built :class:`~repro.core.collection.BatmapCollection`."""
         # Widths come from the batmap ranges directly (3*r entries / 4 per
         # word) — building the packed device buffer is not needed to plan.
         total_words = sum(3 * bm.r // 4 for bm in collection.batmaps_sorted)
@@ -121,6 +122,7 @@ class PlanFeatures:
 
     @property
     def mean_words(self) -> float:
+        """Mean packed row width in words — the wide-class-heavy gate's input."""
         return self.total_words / self.n_sets if self.n_sets else 0.0
 
     @property

@@ -38,7 +38,7 @@ from repro.core.bulk_build import device_word_layout, pack_group_words
 from repro.core.collection import BatmapCollection, _dedup_sorted
 from repro.core.config import BatmapConfig, DEFAULT_CONFIG
 from repro.core.errors import LayoutError, SpillFormatError
-from repro.core.hashing import HashFamily
+from repro.core.hashing import HashFamily, load_family, save_family
 from repro.utils.rng import RngLike
 from repro.utils.validation import require, require_positive
 
@@ -46,6 +46,7 @@ __all__ = [
     "SHARD_BUDGET_DIVISOR",
     "MIN_WORKING_BUDGET",
     "MANIFEST_NAME",
+    "FAMILY_NAME",
     "set_packed_bytes",
     "fixed_resident_bytes",
     "working_budget",
@@ -67,6 +68,10 @@ SHARD_BUDGET_DIVISOR = 10
 MIN_WORKING_BUDGET = 4096
 
 MANIFEST_NAME = "manifest.json"
+#: Serialised hash family (``.npz``), written next to the manifest so a
+#: serving process can answer membership / decode queries without the build
+#: process's in-memory family.  Optional for pure pair counting.
+FAMILY_NAME = "family.npz"
 _SPILL_VERSION = 1
 
 
@@ -172,6 +177,7 @@ class ShardInfo:
 
     @property
     def n_sets(self) -> int:
+        """Number of sets covered by this shard."""
         return self.hi - self.lo
 
     @property
@@ -341,8 +347,10 @@ class ShardedCollectionBuilder:
             ],
         }
         (self.spill_dir / MANIFEST_NAME).write_text(json.dumps(manifest, indent=1))
+        save_family(self.spill_dir / FAMILY_NAME, self.family)
         return ShardedCollection(self.spill_dir, self.universe_size, self.r0,
-                                 self.shards)
+                                 self.shards, family=self.family,
+                                 payload_bits=self.config.payload_bits)
 
 
 class ShardedCollection:
@@ -357,12 +365,16 @@ class ShardedCollection:
     """
 
     def __init__(self, spill_dir: Path, universe_size: int, r0: int,
-                 shards: list) -> None:
+                 shards: list, *, family: HashFamily | None = None,
+                 payload_bits: int = DEFAULT_CONFIG.payload_bits) -> None:
+        """Wrap already-spilled shards; use :meth:`build` or :meth:`from_spill`."""
         self.spill_dir = Path(spill_dir)
         self.universe_size = universe_size
         self.r0 = int(r0)
         self.shards = list(shards)
         self.n_sets = self.shards[-1].hi if self.shards else 0
+        self.payload_bits = int(payload_bits)
+        self._family = family
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -438,7 +450,9 @@ class ShardedCollection:
                 build_backend=entry["build_backend"], order=order, failed=failed,
             ))
         return cls(spill_dir, int(manifest["universe_size"]),
-                   int(manifest["r0"]), shards)
+                   int(manifest["r0"]), shards,
+                   payload_bits=int(manifest.get(
+                       "payload_bits", DEFAULT_CONFIG.payload_bits)))
 
     # ------------------------------------------------------------------ #
     # Access
@@ -448,11 +462,35 @@ class ShardedCollection:
 
     @property
     def n_shards(self) -> int:
+        """Number of spilled shards."""
         return len(self.shards)
 
     @property
     def total_packed_bytes(self) -> int:
+        """Packed device bytes on disk, summed over all shards."""
         return sum(shard.nbytes for shard in self.shards)
+
+    @property
+    def family(self) -> HashFamily:
+        """The shared hash family, loaded lazily from ``family.npz``.
+
+        Pair counting never needs the family (the packed bytes are
+        self-contained), so attaching a spill without one still works;
+        membership, decoding and multiway serving do need it and raise
+        :class:`~repro.core.errors.SpillFormatError` when the artifact
+        predates family persistence.  Rebuild with a current ``repro
+        build-index`` to add it.
+        """
+        if self._family is None:
+            family_path = self.spill_dir / FAMILY_NAME
+            if not family_path.exists():
+                raise SpillFormatError(
+                    f"no {FAMILY_NAME} in {self.spill_dir}: this spill predates "
+                    "hash-family persistence and cannot serve membership or "
+                    "multiway queries — rebuild it with 'repro build-index'"
+                )
+            self._family = load_family(family_path)
+        return self._family
 
     @property
     def total_words(self) -> int:

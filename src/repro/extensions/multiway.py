@@ -27,7 +27,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.collection import BatmapCollection
 from repro.utils.validation import require
 
 __all__ = ["MultiwayResult", "multiway_intersection"]
@@ -46,10 +45,18 @@ class MultiwayResult:
 
 
 def multiway_intersection(
-    collection: BatmapCollection,
+    collection,
     set_indices,
 ) -> MultiwayResult:
     """Intersect several sets of a collection using batmap position probes.
+
+    ``collection`` is any *batmap provider*: an object exposing
+    ``batmap(i)``, ``family`` and ``config`` — a
+    :class:`~repro.core.collection.BatmapCollection`, or the serving layer's
+    rehydrating engine (:class:`repro.serve.engine.SpillQueryEngine`), which
+    reconstructs batmaps on demand from a spilled artifact.  Because per-set
+    placement depends only on (set, family, range, config), both providers
+    yield byte-identical batmaps and therefore identical results.
 
     ``set_indices`` are original set indices; the first one acts as the pivot
     whose stored elements are tested for membership in all the others.

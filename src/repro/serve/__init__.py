@@ -1,0 +1,25 @@
+"""Online query serving over spilled batmap collections (`repro serve`).
+
+The serving layer turns a PR-5 spill artifact — memory-mapped
+:class:`~repro.core.batch.WidthClassIndex` buffers plus the persisted hash
+family — into a long-lived TCP service answering membership probes, pairwise
+and multiway intersections and top-k-similar-set queries, with request
+batching, an LRU result cache and per-request latency metrics.  Everything is
+stdlib ``asyncio`` + NumPy; served results are bit-identical to the
+equivalent direct :class:`~repro.core.collection.BatmapCollection` /
+:class:`~repro.core.sharded.ShardedCollection` calls.
+
+See ``docs/serving.md`` for the protocol reference and operational guide.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.engine import SpillQueryEngine
+from repro.serve.server import BackgroundServer, BatmapServer
+
+__all__ = [
+    "BackgroundServer",
+    "BatmapServer",
+    "ServeClient",
+    "ServeError",
+    "SpillQueryEngine",
+]

@@ -1,0 +1,202 @@
+"""Request coalescing: many concurrent queries, one vectorized engine call.
+
+NumPy dispatch overhead dominates small queries — the same observation that
+led ``core/bulk_build.py`` to place whole collections per scatter instead of
+one element per call.  The serving analogue: requests that arrive while a
+batch is executing accumulate in a bounded queue; the drain loop then takes
+up to ``max_batch`` of them and executes each *operation group* with a
+single engine call —
+
+* all coalesced ``member`` probes share one permutation gather per hash
+  function (:meth:`~repro.serve.engine.SpillQueryEngine.members_batch`);
+* all coalesced ``count`` pairs concatenate into one grouped SWAR fold
+  (:meth:`~repro.serve.engine.SpillQueryEngine.count_pairs`);
+* all coalesced ``topk`` queries share one ``cross_index`` rectangle per
+  shard pair (:meth:`~repro.serve.engine.SpillQueryEngine.top_k_batch`);
+* ``multiway`` queries run per-request (their probe chains share nothing)
+  but still inside the same executor trip.
+
+Batches execute in the event loop's default thread-pool executor so the
+loop keeps accepting connections while NumPy works.  ``max_batch=1``
+disables coalescing — the batching-off arm of the E17 ablation.  A full
+queue rejects instead of blocking (backpressure): the caller maps
+:class:`QueueFullError` to an ``overloaded`` response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+__all__ = ["QueueFullError", "RequestBatcher"]
+
+
+class QueueFullError(Exception):
+    """Raised by :meth:`RequestBatcher.submit` when the bounded queue is full."""
+
+
+def _member_result(mask: np.ndarray) -> list:
+    return [bool(b) for b in mask]
+
+
+def _multiway_result(result) -> dict:
+    return {
+        "elements": [int(x) for x in result.elements],
+        "failed_involved": [int(x) for x in result.failed_involved],
+        "size": int(result.size),
+    }
+
+
+def _topk_result(ranked) -> list:
+    return [[j, count] for j, count in ranked]
+
+
+class RequestBatcher:
+    """Bounded queue plus drain loop turning request streams into batches.
+
+    One batcher serves one :class:`~repro.serve.engine.SpillQueryEngine`.
+    ``submit`` enqueues a request and returns a future resolved with the
+    JSON-able result (or an exception); the drain task groups queued
+    requests by operation and executes each group vectorised.
+    """
+
+    def __init__(self, engine, metrics, *, max_batch: int = 64,
+                 max_queue: int = 1024) -> None:
+        """Create a batcher; call :meth:`start` inside a running loop."""
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.engine = engine
+        self.metrics = metrics
+        self.max_batch = int(max_batch)
+        self.max_queue = int(max_queue)
+        self._queue: asyncio.Queue | None = None
+        self._task: asyncio.Task | None = None
+
+    def start(self) -> None:
+        """Create the queue and spawn the drain task on the running loop."""
+        self._queue = asyncio.Queue(maxsize=self.max_queue)
+        self._task = asyncio.get_running_loop().create_task(self._drain())
+
+    async def stop(self) -> None:
+        """Cancel the drain task and fail any still-queued requests."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        if self._queue is not None:
+            while not self._queue.empty():
+                _, _, future = self._queue.get_nowait()
+                if not future.done():
+                    future.set_exception(
+                        ConnectionResetError("server shutting down"))
+
+    def submit(self, op: str, params: dict) -> asyncio.Future:
+        """Enqueue one normalised request; the future carries its result.
+
+        Raises :class:`QueueFullError` immediately when the queue is at
+        capacity — requests are rejected, never silently delayed, so a
+        saturated server degrades with explicit ``overloaded`` errors.
+        """
+        if self._queue is None:
+            raise RuntimeError("batcher not started")
+        future = asyncio.get_running_loop().create_future()
+        try:
+            self._queue.put_nowait((op, params, future))
+        except asyncio.QueueFull:
+            raise QueueFullError(
+                f"request queue full ({self.max_queue} pending)") from None
+        self.metrics.observe_queue(self._queue.qsize())
+        return future
+
+    async def _drain(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = [await self._queue.get()]
+            while len(batch) < self.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            live = [(op, params, fut) for op, params, fut in batch
+                    if not fut.done()]          # timed-out entries are skipped
+            if not live:
+                continue
+            self.metrics.record_batch(len(live))
+            try:
+                outcomes = await loop.run_in_executor(
+                    None, self._execute, [(op, params) for op, params, _ in live])
+            except asyncio.CancelledError:
+                # Cancelled mid-batch (shutdown): the in-flight requests are
+                # no longer in the queue, so stop()'s drain cannot fail
+                # them — they must be failed here or they hang forever.
+                for _, _, future in live:
+                    if not future.done():
+                        future.set_exception(
+                            ConnectionResetError("server shutting down"))
+                raise
+            for (_, _, future), (ok, value) in zip(live, outcomes):
+                if future.done():
+                    continue
+                if ok:
+                    future.set_result(value)
+                else:
+                    future.set_exception(value)
+
+    # ------------------------------------------------------------------ #
+    # Executor side (synchronous NumPy work)
+    # ------------------------------------------------------------------ #
+    def _execute(self, items) -> list:
+        """Run one batch, grouped by op; returns ``[(ok, value_or_exc)]``.
+
+        A failure while executing a *group* falls back to per-item
+        execution, so one bad request cannot poison the results of the
+        others it happened to be coalesced with.
+        """
+        outcomes: list = [None] * len(items)
+        by_op: dict[str, list[int]] = {}
+        for k, (op, _) in enumerate(items):
+            by_op.setdefault(op, []).append(k)
+        for op, positions in by_op.items():
+            group = [items[k][1] for k in positions]
+            try:
+                results = self._execute_group(op, group)
+                for k, result in zip(positions, results):
+                    outcomes[k] = (True, result)
+            except Exception:
+                for k in positions:
+                    try:
+                        result = self._execute_group(op, [items[k][1]])[0]
+                        outcomes[k] = (True, result)
+                    except Exception as exc:
+                        outcomes[k] = (False, exc)
+        return outcomes
+
+    def _execute_group(self, op: str, group: list) -> list:
+        """Execute all same-op requests of one batch with one engine call."""
+        engine = self.engine
+        if op == "member":
+            queries = [(p["set"], np.asarray(p["elements"], dtype=np.int64))
+                       for p in group]
+            return [_member_result(mask) for mask in engine.members_batch(queries)]
+        if op == "count":
+            lengths = [len(p["pairs"]) for p in group]
+            flat = [pair for p in group for pair in p["pairs"]]
+            counts = engine.count_pairs(
+                np.asarray(flat, dtype=np.int64).reshape(-1, 2))
+            results, start = [], 0
+            for length in lengths:
+                results.append([int(c) for c in counts[start:start + length]])
+                start += length
+            return results
+        if op == "topk":
+            requests = [(p["set"], p["k"]) for p in group]
+            return [_topk_result(r) for r in engine.top_k_batch(requests)]
+        if op == "multiway":
+            return [_multiway_result(engine.multiway(p["sets"])) for p in group]
+        raise ValueError(f"unbatchable op {op!r}")  # pragma: no cover

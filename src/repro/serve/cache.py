@@ -1,0 +1,76 @@
+"""LRU result cache for served queries, keyed on request digests.
+
+Served results are immutable functions of the attached artifact (the spill
+is read-only for the server's lifetime), so caching needs no invalidation —
+only bounded capacity.  Keys are the canonical digests of
+:func:`repro.serve.protocol.query_digest`; values are the already-JSON-able
+result payloads, so a hit skips both the NumPy work and the result
+conversion.
+
+The cache is thread-safe: the event loop reads it while executor threads
+(via the batcher) populate it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+__all__ = ["LRUResultCache", "MISS"]
+
+#: Sentinel distinguishing "not cached" from a cached ``None`` result.
+MISS = object()
+
+
+class LRUResultCache:
+    """A bounded least-recently-used mapping with hit/miss counters.
+
+    ``capacity <= 0`` disables caching entirely (every lookup misses, no
+    entry is stored) — the cache-off arm of the serving ablation.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = int(capacity)
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str):
+        """Return the cached value for ``key``, or :data:`MISS`."""
+        with self._lock:
+            if key not in self._entries:
+                self.misses += 1
+                return MISS
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+
+    def put(self, key: str, value) -> None:
+        """Insert (or refresh) one entry, evicting the least recently used."""
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def snapshot(self) -> dict:
+        """Counters and occupancy for the ``metrics`` operation."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }

@@ -1,0 +1,107 @@
+"""Synchronous TCP client for the `repro serve` protocol.
+
+A thin blocking wrapper over one socket: it sends one request line, reads
+one response line, and maps protocol errors to :class:`ServeError`.  Used
+by the tests, the load-generator benchmark (one client per simulated user)
+and the ``repro query`` CLI; anything async should speak the line protocol
+directly.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.serve.protocol import encode_message
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(Exception):
+    """An error response from the server, carrying its protocol code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class ServeClient:
+    """One blocking connection to a :class:`~repro.serve.server.BatmapServer`.
+
+    Requests are issued one at a time per client (send, then block for the
+    response); concurrency is modelled with one client per thread, which is
+    exactly how the latency benchmark drives the server.
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 60.0) -> None:
+        """Connect to ``host:port``; ``timeout`` bounds every socket wait."""
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    def request(self, op: str, **params):
+        """Send one request and return its ``result`` (or raise ServeError)."""
+        self._next_id += 1
+        request_id = self._next_id
+        self._file.write(encode_message({"id": request_id, "op": op, **params}))
+        self._file.flush()
+        raw = self._file.readline()
+        if not raw:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(raw)
+        if response.get("id") != request_id:
+            raise ConnectionError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id}")
+        if response.get("ok"):
+            return response["result"]
+        error = response.get("error") or {}
+        raise ServeError(error.get("code", "server-error"),
+                         error.get("message", "malformed error response"))
+
+    # Convenience wrappers, one per operation -------------------------- #
+    def ping(self) -> str:
+        """Round-trip liveness check."""
+        return self.request("ping")
+
+    def stats(self) -> dict:
+        """Summary of the attached artifact."""
+        return self.request("stats")
+
+    def metrics(self) -> dict:
+        """Live server counters (latency percentiles, cache, batching)."""
+        return self.request("metrics")
+
+    def member(self, set_id: int, elements) -> list:
+        """Membership of ``elements`` in set ``set_id`` (list of bools)."""
+        return self.request("member", set=int(set_id),
+                            elements=[int(e) for e in elements])
+
+    def count(self, pairs) -> list:
+        """Intersection counts for a list of ``(i, j)`` set pairs."""
+        return self.request("count",
+                            pairs=[[int(i), int(j)] for i, j in pairs])
+
+    def multiway(self, sets) -> dict:
+        """Exact multiway intersection of several sets."""
+        return self.request("multiway", sets=[int(s) for s in sets])
+
+    def topk(self, set_id: int, k: int) -> list:
+        """Top-``k`` most similar sets to ``set_id`` as ``[[j, count], ...]``."""
+        return self.request("topk", set=int(set_id), k=int(k))
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,104 @@
+"""Per-request latency and throughput counters for the serving layer.
+
+The server records one latency sample per completed request (measured from
+line-received to response-written, so queueing and batching delays are
+included), batch-size samples per executed batch, and error counts by
+protocol code.  :meth:`ServerMetrics.snapshot` folds them into a JSON-able
+dict — the payload of the ``metrics`` operation and the raw material the
+serving benchmark exports through the ``BENCH_*.json`` pipeline.
+
+Samples are kept in bounded deques (newest-wins) so a long-lived server's
+metrics stay O(1) in memory; totals are monotonic counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+
+__all__ = ["ServerMetrics", "percentile"]
+
+#: Latency samples retained per operation (newest retained, oldest dropped).
+SAMPLE_WINDOW = 65536
+
+
+def percentile(values, q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of a sequence of floats.
+
+    Deterministic and dependency-free — the convention the serving
+    benchmark's recorded p50/p99 follow.  Returns 0.0 for an empty input.
+    """
+    data = sorted(values)
+    if not data:
+        return 0.0
+    if q <= 0:
+        return float(data[0])
+    rank = max(1, -(-len(data) * q // 100))  # ceil(len * q / 100)
+    return float(data[min(len(data), int(rank)) - 1])
+
+
+class ServerMetrics:
+    """Thread-safe counters shared by the event loop and executor threads."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests_by_op: Counter = Counter()
+        self.errors_by_code: Counter = Counter()
+        self.latencies: dict[str, deque] = {}
+        self.batch_sizes: deque = deque(maxlen=SAMPLE_WINDOW)
+        self.batches = 0
+        self.batched_requests = 0
+        self.queue_high_water = 0
+
+    def record_request(self, op: str, seconds: float) -> None:
+        """Record one successfully answered request and its latency."""
+        with self._lock:
+            self.requests_by_op[op] += 1
+            window = self.latencies.get(op)
+            if window is None:
+                window = self.latencies[op] = deque(maxlen=SAMPLE_WINDOW)
+            window.append(seconds)
+
+    def record_error(self, code: str) -> None:
+        """Record one error response by protocol error code."""
+        with self._lock:
+            self.errors_by_code[code] += 1
+
+    def record_batch(self, size: int) -> None:
+        """Record one executed batch of coalesced requests."""
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += size
+            self.batch_sizes.append(size)
+
+    def observe_queue(self, depth: int) -> None:
+        """Track the request queue's high-water mark."""
+        with self._lock:
+            if depth > self.queue_high_water:
+                self.queue_high_water = depth
+
+    def snapshot(self) -> dict:
+        """All counters plus per-op latency percentiles, JSON-able."""
+        with self._lock:
+            per_op = {}
+            for op, window in self.latencies.items():
+                samples = list(window)
+                per_op[op] = {
+                    "count": self.requests_by_op[op],
+                    "p50_ms": percentile(samples, 50) * 1e3,
+                    "p90_ms": percentile(samples, 90) * 1e3,
+                    "p99_ms": percentile(samples, 99) * 1e3,
+                    "max_ms": (max(samples) * 1e3) if samples else 0.0,
+                }
+            return {
+                "requests_total": sum(self.requests_by_op.values()),
+                "requests_by_op": dict(self.requests_by_op),
+                "errors_by_code": dict(self.errors_by_code),
+                "latency_by_op": per_op,
+                "batches": self.batches,
+                "batched_requests": self.batched_requests,
+                "mean_batch_size": (self.batched_requests / self.batches
+                                    if self.batches else 0.0),
+                "max_batch_size": max(self.batch_sizes, default=0),
+                "queue_high_water": self.queue_high_water,
+            }

@@ -1,0 +1,266 @@
+"""Serving engine contracts: every served result equals the direct call.
+
+The load-bearing identity is **result identity**, not entry identity:
+cuckoo placement consumes the build RNG, so a sharded build and a
+monolithic build of the same sets place elements differently — but which
+elements are stored (and which failed) is identical, and every query the
+server answers (membership, counts, top-k, multiway) depends only on that.
+What *is* byte-exact is the spill round-trip: a rehydrated batmap's
+Figure-4 device row equals the spilled bytes bit for bit.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.core.collection import BatmapCollection
+from repro.core.errors import SpillFormatError
+from repro.core.hashing import HashFamily, load_family, save_family
+from repro.core.sharded import FAMILY_NAME, ShardedCollection
+from repro.extensions.multiway import multiway_intersection
+from repro.serve.engine import SpillQueryEngine
+from repro.utils.bits import pack_bytes_to_words
+from repro.utils.memory import parse_memory_size
+from tests.conftest import random_sets
+
+UNIVERSE = 1024
+N_SETS = 24
+SEED = 11
+
+
+def make_sets():
+    rng = np.random.default_rng(4)
+    return random_sets(rng, N_SETS, UNIVERSE, min_size=1, max_size=200)
+
+
+@pytest.fixture(scope="module")
+def spill(tmp_path_factory):
+    """One multi-shard spill plus the equivalent direct collection."""
+    base = tmp_path_factory.mktemp("serve_engine")
+    sets = make_sets()
+    sharded = ShardedCollection.build(
+        sets, UNIVERSE, base / "spill", rng=SEED,
+        memory_budget=parse_memory_size("64M"), max_sets_per_shard=7)
+    assert sharded.n_shards >= 3     # the contracts must cross shards
+    reference = BatmapCollection.build(sets, UNIVERSE, rng=SEED)
+    return base / "spill", sets, reference
+
+
+@pytest.fixture(scope="module")
+def engine(spill):
+    spill_dir, _, _ = spill
+    engine = SpillQueryEngine(ShardedCollection.from_spill(spill_dir))
+    yield engine
+    engine.close()
+
+
+class TestFamilyPersistence:
+    def test_array_family_round_trips(self, tmp_path):
+        family = HashFamily.create(512, shift=6, rng=3)
+        save_family(tmp_path / "fam.npz", family)
+        assert load_family(tmp_path / "fam.npz") == family
+
+    def test_feistel_family_round_trips(self, tmp_path):
+        # Large universes switch to Feistel permutations.
+        family = HashFamily.create(1 << 22, shift=19, rng=5)
+        save_family(tmp_path / "fam.npz", family)
+        loaded = load_family(tmp_path / "fam.npz")
+        assert loaded == family
+        probe = np.array([0, 17, (1 << 22) - 1], dtype=np.int64)
+        for t in range(3):
+            np.testing.assert_array_equal(loaded.permuted(t, probe),
+                                          family.permuted(t, probe))
+
+    def test_spill_includes_family(self, spill):
+        spill_dir, _, _ = spill
+        sharded = ShardedCollection.from_spill(spill_dir)
+        assert (spill_dir / FAMILY_NAME).exists()
+        assert sharded.family == load_family(spill_dir / FAMILY_NAME)
+
+    def test_pre_family_spill_raises(self, spill, tmp_path):
+        spill_dir, _, _ = spill
+        legacy = tmp_path / "legacy"
+        shutil.copytree(spill_dir, legacy)
+        (legacy / FAMILY_NAME).unlink()
+        sharded = ShardedCollection.from_spill(legacy)
+        with pytest.raises(SpillFormatError, match="family"):
+            _ = sharded.family
+        with pytest.raises(SpillFormatError, match="family"):
+            SpillQueryEngine(sharded)
+
+
+class TestRehydration:
+    def test_device_row_round_trips_exactly(self, engine, spill):
+        """Rehydration is the exact inverse of the spill's interleave."""
+        spill_dir, _, _ = spill
+        sharded = ShardedCollection.from_spill(spill_dir)
+        for set_id in range(N_SETS):
+            bm = engine.batmap(set_id)
+            shard_idx = int(engine.shard_of(np.array([set_id]))[0])
+            index = engine._indexes[shard_idx]
+            slot = int(engine._slot_of(shard_idx, np.array([set_id]))[0])
+            width = int(index.widths[slot])
+            offset = int(index.offsets[slot])
+            spilled = np.asarray(index.words[offset:offset + width])
+            repacked = pack_bytes_to_words(bm.device_array(sharded.r0))
+            np.testing.assert_array_equal(repacked, spilled)
+
+    def test_decoded_elements_match_the_source_sets(self, engine, spill):
+        _, sets, _ = spill
+        for set_id, original in enumerate(sets):
+            bm = engine.batmap(set_id)
+            stored = np.setdiff1d(original, np.asarray(bm.failed, dtype=np.int64))
+            np.testing.assert_array_equal(np.sort(bm.decode_elements()), stored)
+            assert bm.set_size == original.size
+
+    def test_failed_lists_match_the_direct_build(self, engine, spill):
+        _, _, reference = spill
+        for set_id in range(N_SETS):
+            assert engine.batmap(set_id).failed == reference.batmap(set_id).failed
+
+    def test_batmap_cache_returns_the_same_object(self, engine):
+        assert engine.batmap(0) is engine.batmap(0)
+
+    def test_batmap_cache_evicts_lru(self, spill):
+        spill_dir, _, _ = spill
+        engine = SpillQueryEngine(ShardedCollection.from_spill(spill_dir),
+                                  batmap_cache_sets=1)
+        first = engine.batmap(0)
+        engine.batmap(1)                      # evicts set 0
+        assert engine.batmap(0) is not first
+        engine.close()
+
+
+class TestMembership:
+    def test_matches_direct_contains(self, engine, spill):
+        _, _, reference = spill
+        probes = np.arange(-3, UNIVERSE + 3, dtype=np.int64)
+        for set_id in (0, 5, N_SETS - 1):
+            bm = reference.batmap(set_id)
+            expected = np.array([bm.contains(int(x)) for x in probes])
+            np.testing.assert_array_equal(engine.members(set_id, probes),
+                                          expected)
+
+    def test_batched_equals_unbatched(self, engine):
+        rng = np.random.default_rng(9)
+        queries = [(int(rng.integers(N_SETS)),
+                    rng.integers(-5, UNIVERSE + 5, size=int(rng.integers(0, 40))))
+                   for _ in range(12)]
+        batched = engine.members_batch(queries)
+        for (set_id, elements), got in zip(queries, batched):
+            np.testing.assert_array_equal(got, engine.members(set_id, elements))
+
+    def test_out_of_universe_is_never_a_member(self, engine):
+        mask = engine.members(0, [-1, UNIVERSE, UNIVERSE + 100])
+        assert not mask.any()
+
+    def test_empty_probe(self, engine):
+        assert engine.members(0, []).shape == (0,)
+        assert engine.members_batch([]) == []
+
+    def test_bad_set_id(self, engine):
+        with pytest.raises(IndexError, match="out of range"):
+            engine.members(N_SETS, [0])
+
+
+class TestCounts:
+    def test_pairs_bit_identical_to_direct(self, engine, spill):
+        _, _, reference = spill
+        matrix = reference.count_all_pairs()
+        pairs = np.array([(i, j) for i in range(N_SETS)
+                          for j in range(i + 1, N_SETS)], dtype=np.int64)
+        counts = engine.count_pairs(pairs)
+        np.testing.assert_array_equal(counts, matrix[pairs[:, 0], pairs[:, 1]])
+
+    def test_pair_order_is_irrelevant(self, engine):
+        forward = engine.count_pairs([(2, 19), (0, 7)])
+        backward = engine.count_pairs([(19, 2), (7, 0)])
+        np.testing.assert_array_equal(forward, backward)
+
+    def test_self_pair_counts_stored_elements(self, engine, spill):
+        _, sets, _ = spill
+        for set_id in (0, 3, N_SETS - 1):
+            bm = engine.batmap(set_id)
+            expected = sets[set_id].size - len(bm.failed)
+            assert engine.count_pairs([(set_id, set_id)])[0] == expected
+
+    def test_empty_pairs(self, engine):
+        assert engine.count_pairs(np.zeros((0, 2), dtype=np.int64)).size == 0
+
+    def test_bad_pair_shape(self, engine):
+        with pytest.raises(ValueError, match="shape"):
+            engine.count_pairs(np.zeros((2, 3), dtype=np.int64))
+
+    def test_count_rows_match_count_all_pairs(self, engine, spill):
+        _, _, reference = spill
+        matrix = reference.count_all_pairs()
+        set_ids = [0, 9, 17, N_SETS - 1]
+        rows = engine.count_rows(set_ids)
+        for k, set_id in enumerate(set_ids):
+            # off-diagonal entries must match the direct all-pairs matrix
+            other = [j for j in range(N_SETS) if j != set_id]
+            np.testing.assert_array_equal(rows[k, other], matrix[set_id, other])
+
+
+class TestTopK:
+    def expected_topk(self, matrix, set_id, k):
+        row = matrix[set_id].copy()
+        row[set_id] = -1
+        order = np.lexsort((np.arange(row.size), -row))[:min(k, row.size - 1)]
+        return [(int(j), int(matrix[set_id, j])) for j in order]
+
+    def test_matches_reference_ranking(self, engine, spill):
+        _, _, reference = spill
+        matrix = reference.count_all_pairs()
+        np.fill_diagonal(matrix, [engine.count_pairs([(i, i)])[0]
+                                  for i in range(N_SETS)])
+        for set_id, k in ((0, 1), (5, 4), (N_SETS - 1, 10)):
+            assert engine.top_k(set_id, k) == self.expected_topk(
+                matrix, set_id, k)
+
+    def test_k_larger_than_collection_is_clamped(self, engine):
+        ranked = engine.top_k(0, 10 * N_SETS)
+        assert len(ranked) == N_SETS - 1
+        assert all(j != 0 for j, _ in ranked)
+
+    def test_batched_equals_unbatched(self, engine):
+        requests = [(0, 3), (7, 5), (0, 3), (12, 1)]
+        batched = engine.top_k_batch(requests)
+        for (set_id, k), got in zip(requests, batched):
+            assert got == engine.top_k(set_id, k)
+
+
+class TestMultiway:
+    def test_matches_direct_collection(self, engine, spill):
+        _, _, reference = spill
+        for indices in ([0, 1, 2], [3, 9, 17, 21], [N_SETS - 1, 0]):
+            served = engine.multiway(indices)
+            direct = multiway_intersection(reference, indices)
+            np.testing.assert_array_equal(served.elements, direct.elements)
+            np.testing.assert_array_equal(served.failed_involved,
+                                          direct.failed_involved)
+            assert served.size == direct.size
+
+
+class TestLifecycle:
+    def test_stats_shape(self, engine, spill):
+        spill_dir, _, _ = spill
+        stats = engine.stats()
+        sharded = ShardedCollection.from_spill(spill_dir)
+        assert stats["n_sets"] == N_SETS
+        assert stats["n_shards"] == sharded.n_shards
+        assert stats["universe_size"] == UNIVERSE
+        assert stats["total_packed_bytes"] == sharded.total_packed_bytes
+
+    def test_close_releases_attachments(self, spill):
+        spill_dir, _, _ = spill
+        engine = SpillQueryEngine(ShardedCollection.from_spill(spill_dir))
+        engine.batmap(0)
+        assert not engine.closed
+        engine.close()
+        assert engine.closed
+        assert engine._indexes == []
+        engine.close()                        # idempotent

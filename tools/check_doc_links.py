@@ -1,0 +1,147 @@
+"""Check that intra-repo markdown links and anchors resolve.  Stdlib only.
+
+Scans every tracked-directory ``*.md`` file, extracts inline links outside
+code fences / code spans, and verifies:
+
+* relative file targets exist inside the repository;
+* ``#fragment`` targets (same-file or ``other.md#anchor``) match a heading
+  anchor, computed with GitHub's slug rules (lowercase, punctuation
+  stripped, spaces to hyphens, ``-N`` suffixes for duplicates).
+
+Skipped: absolute URLs (``http(s)://``, ``mailto:``) and targets that
+resolve *outside* the repository root — those are GitHub-site-relative
+URLs (the CI badge's ``../../actions/...``) that only exist on the forge,
+not in the checkout.
+
+Exit status 0 when every link resolves, 1 otherwise (one line per dead
+link).  Run from anywhere:
+
+    python tools/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Directories never scanned (generated output, VCS internals).
+SKIP_DIRS = {".git", ".pytest_cache", "bench-artifacts", "bench-history",
+             "__pycache__", ".ruff_cache", "node_modules"}
+
+_FENCE = re.compile(r"^(```|~~~)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*$")
+_INLINE_CODE = re.compile(r"`[^`]*`")
+_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?\s*\)")
+
+
+def markdown_files() -> list:
+    """Every ``*.md`` under the repo root, skipping generated directories."""
+    files = []
+    for path in sorted(REPO_ROOT.rglob("*.md")):
+        if not any(part in SKIP_DIRS for part in path.parts):
+            files.append(path)
+    return files
+
+
+def _visible_lines(text: str):
+    """Markdown lines with fenced code blocks blanked out."""
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            yield ""
+        else:
+            yield "" if in_fence else line
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: the target of ``#fragment`` links."""
+    text = _INLINE_CODE.sub(lambda m: m.group(0).strip("`"), heading)
+    text = re.sub(r"[*_~]", "", text)              # emphasis markers
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)           # punctuation (keeps _ and -)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: Path) -> set:
+    """All anchors a markdown file defines, with duplicate ``-N`` suffixes."""
+    anchors: set = set()
+    counts: dict = {}
+    for line in _visible_lines(path.read_text()):
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def extract_links(path: Path) -> list:
+    """``(lineno, target)`` for each inline link outside code."""
+    links = []
+    for lineno, line in enumerate(_visible_lines(path.read_text()), start=1):
+        for match in _LINK.finditer(_INLINE_CODE.sub("", line)):
+            links.append((lineno, match.group(1)))
+    return links
+
+
+def check_file(path: Path, anchor_cache: dict) -> list:
+    """All dead-link error strings for one markdown file."""
+    errors = []
+
+    def anchors_of(target: Path) -> set:
+        if target not in anchor_cache:
+            anchor_cache[target] = heading_anchors(target)
+        return anchor_cache[target]
+
+    for lineno, raw in extract_links(path):
+        where = f"{path.relative_to(REPO_ROOT)}:{lineno}"
+        if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", raw):    # http:, mailto:, ...
+            continue
+        target_part, _, fragment = raw.partition("#")
+        if not target_part:                                 # same-file anchor
+            if fragment not in anchors_of(path):
+                errors.append(f"{where}: dead anchor #{fragment}")
+            continue
+        resolved = (path.parent / target_part).resolve()
+        try:
+            resolved.relative_to(REPO_ROOT)
+        except ValueError:
+            continue        # GitHub-site-relative (e.g. the CI badge) — skip
+        if not resolved.exists():
+            errors.append(f"{where}: missing target {raw}")
+            continue
+        if fragment:
+            if resolved.suffix.lower() != ".md":
+                errors.append(f"{where}: fragment on non-markdown target {raw}")
+            elif fragment not in anchors_of(resolved):
+                errors.append(f"{where}: dead anchor {raw}")
+    return errors
+
+
+def check_all() -> list:
+    """Dead-link errors across every markdown file in the repository."""
+    anchor_cache: dict = {}
+    errors = []
+    for path in markdown_files():
+        errors.extend(check_file(path, anchor_cache))
+    return errors
+
+
+def main() -> int:
+    files = markdown_files()
+    errors = check_all()
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} markdown files: "
+          f"{'OK' if not errors else f'{len(errors)} dead link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,74 @@
+"""Regenerate the CLI ``--help`` snapshots under ``tests/data/cli_help/``.
+
+``tests/test_cli_help.py`` compares every subcommand's ``format_help()``
+against these files, so the command-line reference cannot drift silently —
+a parser change fails the suite until the snapshot (and any docs quoting
+it) is updated deliberately.  Run from the repository root:
+
+    python tools/update_cli_snapshots.py
+
+The rendering is normalised to be Python-version independent: a fixed
+80-column width, and Python 3.9's ``optional arguments:`` heading rewritten
+to the modern ``options:``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SNAPSHOT_DIR = REPO_ROOT / "tests" / "data" / "cli_help"
+
+#: Fixed rendering width: argparse reads ``COLUMNS`` at format time, so
+#: pinning it here (and in the test) makes snapshots terminal-independent.
+HELP_COLUMNS = "80"
+
+#: Snapshot name used for the top-level ``repro --help`` output.
+TOP_LEVEL = "repro"
+
+
+def render_help(parser) -> str:
+    """One parser's ``--help`` text, normalised across Python versions."""
+    old_columns = os.environ.get("COLUMNS")
+    os.environ["COLUMNS"] = HELP_COLUMNS
+    try:
+        text = parser.format_help()
+    finally:
+        if old_columns is None:
+            del os.environ["COLUMNS"]
+        else:
+            os.environ["COLUMNS"] = old_columns
+    # Python 3.9 titles the flag section "optional arguments:".
+    return text.replace("optional arguments:", "options:")
+
+
+def snapshot_sources() -> dict:
+    """Map snapshot file stem -> parser for every CLI entry point."""
+    from repro.cli import build_parser, subcommand_parsers
+
+    sources = {TOP_LEVEL: build_parser()}
+    for name, subparser in subcommand_parsers().items():
+        sources[name] = subparser
+    return sources
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    SNAPSHOT_DIR.mkdir(parents=True, exist_ok=True)
+    sources = snapshot_sources()
+    stale = {p.name for p in SNAPSHOT_DIR.glob("*.txt")}
+    for name, parser in sorted(sources.items()):
+        path = SNAPSHOT_DIR / f"{name}.txt"
+        path.write_text(render_help(parser))
+        stale.discard(path.name)
+        print(f"wrote {path.relative_to(REPO_ROOT)}")
+    for name in sorted(stale):
+        (SNAPSHOT_DIR / name).unlink()
+        print(f"removed stale {name}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
