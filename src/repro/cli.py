@@ -38,6 +38,27 @@ subcommands cover the workflows a downstream user actually runs:
     build the batmap shards and leave the spill artifact (packed buffers,
     manifest, persisted hash family, item map) at a caller-chosen
     directory — no mining.  The artifact is what ``repro serve`` attaches.
+    ``--family lazy`` persists an extensible hash family so later appends
+    can grow the universe without rehashing; ``--sets-file`` builds from a
+    raw integer-set file (one whitespace-separated set per line) instead of
+    FIMI transactions.
+
+``repro ingest``
+    Append new sets to an existing spill artifact as delta shards
+    (``--append`` is required; it is the only mode).  Placement of the
+    existing sets is never recomputed, so counts over the grown collection
+    are bit-identical to a from-scratch build of the same final dataset.
+
+``repro delete``
+    Tombstone sets by live index.  Deletes are metadata-only until a
+    compaction purges the rows; every query path skips tombstoned sets
+    immediately.
+
+``repro compact``
+    Merge small shards (LSM-style size tiers, or everything with
+    ``--full``) and purge tombstoned rows, under an optional
+    ``--memory-budget``.  A live server picks up the new generation via the
+    ``reload`` operation without restarting.
 
 ``repro serve``
     Serve membership, pairwise/multiway intersection and top-k-similarity
@@ -201,6 +222,62 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--build-workers", type=int, default=None,
                        help="worker processes for --build-compute parallel")
     build.add_argument("--max-transactions", type=int, default=None)
+    build.add_argument("--family", choices=["eager", "lazy"], default="eager",
+                       help="hash family kind: eager (fixed universe) or "
+                            "lazy/extensible (later `repro ingest` may grow "
+                            "the universe up to the capacity without "
+                            "rehashing)")
+    build.add_argument("--capacity", type=int, default=None,
+                       help="universe capacity reserved by --family lazy "
+                            "(default: the current shift plateau)")
+    build.add_argument("--sets-file", action="store_true",
+                       help="treat INPUT as a raw integer-set file (one "
+                            "whitespace-separated set per line, ids already "
+                            "dense) instead of FIMI transactions")
+    build.add_argument("--universe", type=int, default=None,
+                       help="universe size for --sets-file "
+                            "(default: max id + 1)")
+
+    ingest = sub.add_parser(
+        "ingest", help="append new sets to an existing spill artifact")
+    ingest.add_argument("spill_dir", type=Path,
+                        help="existing spill artifact directory")
+    ingest.add_argument("input", type=Path,
+                        help="raw integer-set file: one whitespace-separated "
+                             "set per line")
+    ingest.add_argument("--append", action="store_true", required=True,
+                        help="required: appends are the only ingest mode "
+                             "(new sets become delta shards; existing "
+                             "placement is never recomputed)")
+    ingest.add_argument("--universe", type=int, default=None,
+                        help="grow the universe to this size (lazy-family "
+                             "artifacts only; default: grown to fit the "
+                             "appended elements)")
+    ingest.add_argument("--memory-budget", default=None, metavar="SIZE",
+                        help="resident-set ceiling while building the delta "
+                             "shards, e.g. 64M or 2G (default: one shard)")
+
+    delete = sub.add_parser(
+        "delete", help="tombstone sets of a spill artifact by live index")
+    delete.add_argument("spill_dir", type=Path,
+                        help="existing spill artifact directory")
+    delete.add_argument("--sets", type=int, nargs="+", required=True,
+                        metavar="ID",
+                        help="live set indices to tombstone (the dense index "
+                             "space queries see; compaction purges the rows)")
+
+    compact = sub.add_parser(
+        "compact",
+        help="merge shards and purge tombstones (LSM-style compaction)")
+    compact.add_argument("spill_dir", type=Path,
+                         help="existing spill artifact directory")
+    compact.add_argument("--full", action="store_true",
+                         help="merge everything into the fewest shards the "
+                              "budget allows (default: size-tiered policy "
+                              "merges only runs of similar-size shards)")
+    compact.add_argument("--memory-budget", default=None, metavar="SIZE",
+                         help="resident-set ceiling for merged shards, e.g. "
+                              "64M or 2G (bounds each merged shard's size)")
 
     serve = sub.add_parser(
         "serve", help="serve queries over a spill artifact (JSON over TCP)")
@@ -540,6 +617,57 @@ def _cmd_intersect(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _read_sets_file(path: Path) -> list:
+    """Read a raw sets file: one whitespace-separated integer set per line.
+
+    Blank lines are skipped, so the line order defines the dense set index
+    space — the same format ``repro ingest`` appends from.
+    """
+    sets = []
+    for line_no, line in enumerate(path.read_text().splitlines(), start=1):
+        tokens = line.split()
+        if not tokens:
+            continue
+        try:
+            sets.append(np.unique(np.array([int(t) for t in tokens],
+                                           dtype=np.int64)))
+        except ValueError as exc:
+            raise DataFormatError(
+                f"{path}:{line_no}: non-integer token in set line") from exc
+    if not sets:
+        raise DataFormatError(f"{path}: no sets found in input")
+    return sets
+
+
+def _build_index_sets_file(args: argparse.Namespace, budget: int, out) -> int:
+    """The ``build-index --sets-file`` arm: raw sets, no FIMI preprocessing."""
+    from repro.core.sharded import ShardedCollection
+
+    sets = _read_sets_file(args.input)
+    universe = args.universe or int(max(int(s.max()) for s in sets)) + 1
+    start = time.perf_counter()
+    collection = ShardedCollection.build(
+        sets, universe, args.spill_dir,
+        memory_budget=budget,
+        rng=args.seed,
+        family_kind=args.family,
+        family_capacity=args.capacity,
+        build_compute=args.build_compute,
+        build_workers=args.build_workers,
+    )
+    np.save(Path(args.spill_dir) / "item_map.npy",
+            np.arange(len(sets), dtype=np.int64))
+    elapsed = time.perf_counter() - start
+    print(f"indexed {len(collection)} sets over universe "
+          f"{collection.universe_size} in {elapsed:.3f}s wall clock", file=out)
+    print(f"spill artifact: {args.spill_dir} ({collection.n_shards} shard(s), "
+          f"{collection.total_packed_bytes} packed bytes, "
+          f"{args.family} family, generation {collection.generation})",
+          file=out)
+    print(f"serve it with: repro serve {args.spill_dir}", file=out)
+    return 0
+
+
 def _cmd_build_index(args: argparse.Namespace, out) -> int:
     """Build a servable spill artifact from a FIMI file, without mining."""
     from repro.mining.preprocess import preprocess_streaming
@@ -550,25 +678,122 @@ def _cmd_build_index(args: argparse.Namespace, out) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=out)
         return 2
-    start = time.perf_counter()
-    pre = preprocess_streaming(
-        args.input,
-        args.spill_dir,
-        memory_budget=budget,
-        min_support=args.min_support,
-        rng=args.seed,
-        build_compute=args.build_compute,
-        build_workers=args.build_workers,
-        max_transactions=args.max_transactions,
-    )
+    if args.capacity is not None and args.family != "lazy":
+        print("error: --capacity requires --family lazy", file=out)
+        return 2
+    if args.universe is not None and not args.sets_file:
+        print("error: --universe requires --sets-file", file=out)
+        return 2
+    try:
+        if args.sets_file:
+            return _build_index_sets_file(args, budget, out)
+        start = time.perf_counter()
+        pre = preprocess_streaming(
+            args.input,
+            args.spill_dir,
+            memory_budget=budget,
+            min_support=args.min_support,
+            rng=args.seed,
+            build_compute=args.build_compute,
+            build_workers=args.build_workers,
+            family_kind=args.family,
+            family_capacity=args.capacity,
+            max_transactions=args.max_transactions,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
     np.save(Path(args.spill_dir) / "item_map.npy", pre.item_map)
     elapsed = time.perf_counter() - start
     collection = pre.collection
     print(f"indexed {len(collection)} sets over universe "
           f"{collection.universe_size} in {elapsed:.3f}s wall clock", file=out)
     print(f"spill artifact: {args.spill_dir} ({collection.n_shards} shard(s), "
-          f"{collection.total_packed_bytes} packed bytes)", file=out)
+          f"{collection.total_packed_bytes} packed bytes, "
+          f"{args.family} family, generation {collection.generation})",
+          file=out)
     print(f"serve it with: repro serve {args.spill_dir}", file=out)
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace, out) -> int:
+    """Append new sets to an existing spill artifact as delta shards."""
+    from repro.core.sharded import ShardedCollection
+    from repro.utils.memory import parse_memory_size
+
+    try:
+        budget = (parse_memory_size(args.memory_budget)
+                  if args.memory_budget is not None else None)
+        sets = _read_sets_file(args.input)
+        collection = ShardedCollection.from_spill(args.spill_dir)
+        before = collection.n_sets
+        start = time.perf_counter()
+        collection.append(sets, universe_size=args.universe,
+                          memory_budget=budget)
+        elapsed = time.perf_counter() - start
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    print(f"appended {len(sets)} sets ({before} -> {collection.n_sets}) "
+          f"in {elapsed:.3f}s wall clock", file=out)
+    print(f"generation {collection.generation}: {collection.n_shards} "
+          f"shard(s), universe {collection.universe_size}, "
+          f"{collection.total_packed_bytes} packed bytes", file=out)
+    if collection.n_shards >= 8:
+        print(f"hint: {collection.n_shards} shards amplify counting work; "
+              f"run `repro compact {args.spill_dir}`", file=out)
+    return 0
+
+
+def _cmd_delete(args: argparse.Namespace, out) -> int:
+    """Tombstone live sets of a spill artifact."""
+    from repro.core.sharded import ShardedCollection
+
+    try:
+        collection = ShardedCollection.from_spill(args.spill_dir)
+        before = collection.n_sets
+        collection.delete(args.sets)
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    print(f"tombstoned {before - collection.n_sets} set(s) "
+          f"({before} -> {collection.n_sets} live)", file=out)
+    print(f"generation {collection.generation}: "
+          f"{int(collection.tombstones.size)} tombstone(s) pending "
+          f"compaction", file=out)
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace, out) -> int:
+    """Merge shards and purge tombstones under an optional budget."""
+    from repro.core.sharded import ShardedCollection
+    from repro.utils.memory import parse_memory_size
+
+    try:
+        budget = (parse_memory_size(args.memory_budget)
+                  if args.memory_budget is not None else None)
+        collection = ShardedCollection.from_spill(args.spill_dir)
+        before_shards = collection.n_shards
+        before_tombstones = int(collection.tombstones.size)
+        before_generation = collection.generation
+        start = time.perf_counter()
+        collection.compact(memory_budget=budget, full=args.full)
+        elapsed = time.perf_counter() - start
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    if collection.generation == before_generation:
+        print(f"nothing to compact: {before_shards} shard(s), "
+              f"{before_tombstones} tombstone(s)", file=out)
+        return 0
+    purged = before_tombstones - int(collection.tombstones.size)
+    print(f"compacted {before_shards} -> {collection.n_shards} shard(s), "
+          f"purged {purged} tombstoned row(s) in {elapsed:.3f}s wall clock",
+          file=out)
+    print(f"generation {collection.generation}: "
+          f"{collection.total_packed_bytes} packed bytes", file=out)
+    print("a live server picks this up with: "
+          "repro query HOST:PORT '{\"op\": \"reload\"}'", file=out)
     return 0
 
 
@@ -664,6 +889,12 @@ def main(argv: list[str] | None = None, out=None) -> int:
             return _cmd_intersect(args, out)
         if args.command == "build-index":
             return _cmd_build_index(args, out)
+        if args.command == "ingest":
+            return _cmd_ingest(args, out)
+        if args.command == "delete":
+            return _cmd_delete(args, out)
+        if args.command == "compact":
+            return _cmd_compact(args, out)
         if args.command == "serve":
             return _cmd_serve(args, out)
         if args.command == "query":

@@ -171,14 +171,17 @@ class BatmapCollection:
         order = np.argsort(sizes, kind="stable") if sort_by_size else np.arange(len(sets))
         # Keep the packed-word path available even for tiny sets.  Sizes
         # repeat heavily across a large collection, so the range arithmetic
-        # is memoised per distinct size.
+        # is memoised per distinct size.  Range floors derive from the
+        # family's range universe (the capacity, for extensible families) so
+        # builds before and after a universe growth stay bit-identical.
+        range_universe = family.range_universe
         range_cache: dict[int, int] = {}
         rs = []
         for size in sizes.tolist():
             r = range_cache.get(size)
             if r is None:
                 r = range_cache[size] = max(
-                    4, config.range_for_size(size, universe_size))
+                    4, config.range_for_size(size, range_universe))
             rs.append(r)
 
         plan = plan_build(len(sets), int(sizes.sum()),

@@ -136,6 +136,17 @@ class BatmapConfig:
             s += 1
         return s
 
+    def universe_capacity(self, universe_size: int) -> int:
+        """Largest universe that shares ``universe_size``'s compression shift.
+
+        ``payload_mask << s`` is exactly the largest ``m`` with
+        ``shift_for_universe(m) == s``.  An extensible hash family built over
+        this capacity can absorb any universe growth up to it without
+        changing the payload compression — and therefore without re-placing
+        a single already-built set.
+        """
+        return self.payload_mask << self.shift_for_universe(universe_size)
+
     def min_range(self, universe_size: int) -> int:
         """Smallest admissible hash range for this universe (the compression floor ``2**s``)."""
         return max(1, 1 << self.shift_for_universe(universe_size))

@@ -40,6 +40,7 @@ __all__ = [
     "ArrayPermutation",
     "FeistelPermutation",
     "HashFamily",
+    "ExtensibleHashFamily",
     "make_permutations",
     "save_family",
     "load_family",
@@ -358,6 +359,117 @@ class HashFamily:
         """Largest payload value this family can produce."""
         return ((self.universe_size - 1) >> self.shift) + 1
 
+    @property
+    def range_universe(self) -> int:
+        """Universe used for hash-range floors.
+
+        For the eager family this is just the universe; extensible families
+        return their full :attr:`~ExtensibleHashFamily.capacity` so range
+        floors stay stable as the universe grows.
+        """
+        return self.universe_size
+
+
+@dataclass(frozen=True, eq=False)
+class ExtensibleHashFamily(HashFamily):
+    """A hash family whose universe can grow without re-placing anything.
+
+    The eager :class:`HashFamily` materializes permutations of exactly the
+    universe, so growing the universe means new permutations and a full
+    rehash of every shard — E15's second known limit.  This variant instead
+    fixes the permutation domain at a *capacity* chosen so the payload
+    compression shift is the same for every universe up to it
+    (``BatmapConfig.universe_capacity``), and derives each element's
+    parameters lazily from the keyed Feistel permutations — O(1) resident
+    memory, O(items touched) work, never O(universe).
+
+    :meth:`grow` is then free: it only widens the admissible element range.
+    Because the permutations and shift are untouched, every placement made
+    before the growth is bit-identical to one made after — and to a
+    from-scratch build at the grown universe with the same seed, since the
+    capacity (and hence the derived keys) depends only on the shift plateau,
+    not on the exact universe.
+
+    Growth *beyond* the capacity is a genuine payload-encoding limit (the
+    compression shift would have to change, invalidating every stored
+    payload) and raises ``ValueError``.
+    """
+
+    capacity: int = 0
+
+    def __post_init__(self) -> None:
+        require_positive(self.universe_size, "universe_size")
+        require_positive(self.capacity, "capacity")
+        require(self.capacity >= self.universe_size,
+                f"capacity ({self.capacity}) must cover the universe "
+                f"({self.universe_size})")
+        require(len(self.permutations) == 3, "HashFamily requires exactly 3 permutations")
+        require(self.shift >= 0, "shift must be >= 0")
+        for perm in self.permutations:
+            require(perm.domain_size == self.capacity,
+                    "extensible family permutations must span the capacity")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, HashFamily):
+            return NotImplemented
+        return (
+            self.universe_size == other.universe_size
+            and self.shift == other.shift
+            and getattr(other, "capacity", other.universe_size) == self.capacity
+            and self.permutations == other.permutations
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.universe_size, self.shift, self.capacity,
+                     tuple(hash(p) for p in self.permutations)))
+
+    @classmethod
+    def create(  # type: ignore[override]
+        cls,
+        universe_size: int,
+        *,
+        capacity: int,
+        shift: int = 0,
+        rng: RngLike = None,
+    ) -> "ExtensibleHashFamily":
+        """Create a lazy family over ``{0..capacity-1}`` serving ``{0..universe_size-1}``.
+
+        The permutations are always Feistel (O(1) memory); with the same
+        ``rng`` seed and capacity the derived keys — and therefore every
+        placement — are deterministic.
+        """
+        perms = make_permutations(capacity, 3, rng, force="feistel")
+        return cls(universe_size=universe_size, permutations=perms,
+                   shift=shift, capacity=capacity)
+
+    def grow(self, new_universe_size: int) -> "ExtensibleHashFamily":
+        """Return a family accepting ``{0..new_universe_size-1}``; placements unchanged."""
+        require(new_universe_size >= self.universe_size,
+                f"cannot shrink the universe ({self.universe_size} -> "
+                f"{new_universe_size})")
+        if new_universe_size > self.capacity:
+            raise ValueError(
+                f"universe {new_universe_size} exceeds the family capacity "
+                f"{self.capacity}: the payload compression shift would change, "
+                "invalidating every stored payload — rebuild the collection "
+                "with a larger capacity")
+        if new_universe_size == self.universe_size:
+            return self
+        return ExtensibleHashFamily(
+            universe_size=new_universe_size, permutations=self.permutations,
+            shift=self.shift, capacity=self.capacity)
+
+    def max_payload(self) -> int:
+        """Largest payload value this family can produce (capacity-stable)."""
+        return ((self.capacity - 1) >> self.shift) + 1
+
+    @property
+    def range_universe(self) -> int:
+        """Range floors derive from the capacity so they survive growth."""
+        return self.capacity
+
 
 # --------------------------------------------------------------------------- #
 # Persistence (``.npz``, no pickling — families ship inside serving artifacts)
@@ -374,6 +486,8 @@ def save_family(path, family: HashFamily) -> None:
         "universe_size": np.int64(family.universe_size),
         "shift": np.int64(family.shift),
     }
+    if isinstance(family, ExtensibleHashFamily):
+        arrays["capacity"] = np.int64(family.capacity)
     kinds = []
     for t, perm in enumerate(family.permutations):
         if isinstance(perm, ArrayPermutation):
@@ -399,6 +513,8 @@ def load_family(path) -> HashFamily:
     with np.load(path, allow_pickle=False) as data:
         universe_size = int(data["universe_size"])
         shift = int(data["shift"])
+        capacity = int(data["capacity"]) if "capacity" in data else None
+        domain = capacity if capacity is not None else universe_size
         perms: list[Permutation] = []
         for t, kind in enumerate(data["kinds"].tolist()):
             if kind == "array":
@@ -408,11 +524,15 @@ def load_family(path) -> HashFamily:
                 perms.append(ArrayPermutation(table=table, inverse=inverse))
             elif kind == "feistel":
                 perms.append(FeistelPermutation(
-                    domain_size=universe_size,
+                    domain_size=domain,
                     keys=tuple(int(k) for k in data[f"feistel_keys_{t}"]),
                     half_bits=int(data[f"feistel_half_bits_{t}"]),
                 ))
             else:
                 raise ValueError(f"unknown permutation kind {kind!r} in {path}")
+    if capacity is not None:
+        return ExtensibleHashFamily(universe_size=universe_size,
+                                    permutations=tuple(perms), shift=shift,
+                                    capacity=capacity)
     return HashFamily(universe_size=universe_size,
                       permutations=tuple(perms), shift=shift)

@@ -49,6 +49,7 @@ __all__ = [
     "BACKENDS",
     "BUILD_BACKENDS",
     "WIDE_WORDS_PER_SET",
+    "SHARD_FANOUT_MIN",
     "HOST_MAX_PAIRS",
     "BULK_BUILD_MIN_ELEMENTS",
     "PARALLEL_BUILD_MIN_SETS",
@@ -72,6 +73,14 @@ BACKENDS = ("host", "batch", "parallel", "kernel", "sharded")
 #: memory bandwidth, so the planner keeps such workloads on the serial batch
 #: engine instead of paying pool startup for no extra throughput.
 WIDE_WORDS_PER_SET = 1 << 12
+
+#: Shard count at which shard-pair amplification dominates the counting
+#: shape: ``k`` shards mean ``k*(k+1)/2`` independent rectangles, each
+#: attaching its own mmaps — embarrassingly parallel work that hides attach
+#: latency even when the wide-class gate would keep an unsharded collection
+#: serial.  Delta-shard ingest grows ``k`` between compactions, so sharded
+#: counting plans consult this before the width heuristics.
+SHARD_FANOUT_MIN = 8
 
 #: Explicit pair lists at or below this size stay on the per-pair host
 #: reference unless a batch engine has already been built for the collection.
@@ -105,6 +114,7 @@ class PlanFeatures:
     r0: int                #: smallest hash range present
     byte_entries: bool     #: True when entries occupy one byte (SWAR-packable)
     cached_engine: bool = False  #: a BatchPairCounter already exists
+    n_shards: int = 1      #: spilled shards backing the collection (1 = in-memory)
 
     @classmethod
     def from_collection(cls, collection) -> "PlanFeatures":
@@ -231,6 +241,14 @@ def plan_counts(
             "batch", 1,
             f"{features.n_sets} sets is below the pool pay-off floor ({min_sets})",
         )
+    if features.n_shards >= SHARD_FANOUT_MIN:
+        rectangles = features.n_shards * (features.n_shards + 1) // 2
+        return CountPlan(
+            "parallel", n_workers,
+            f"{features.n_shards} shards amplify to {rectangles} shard-pair "
+            "rectangles; the pool overlaps per-rectangle attach latency "
+            "regardless of class width",
+        )
     if features.mean_words >= WIDE_WORDS_PER_SET:
         return CountPlan(
             "batch", 1,
@@ -291,6 +309,7 @@ def plan_build(
     workers: int | None = None,
     memory_budget: int | None = None,
     packed_bytes: int | None = None,
+    n_existing_shards: int = 0,
 ) -> BuildPlan:
     """Choose the construction backend for one collection build.
 
@@ -310,6 +329,11 @@ def plan_build(
         are given and the buffer would not fit, the build demotes to the
         out-of-core ``"sharded"`` builder before any in-memory engine is
         considered.
+    n_existing_shards:
+        Shards already backing the target spill when this build appends
+        delta shards.  Past :data:`SHARD_FANOUT_MIN` the plan's reason
+        flags the shard-pair amplification (``k*(k+1)/2`` rectangles per
+        count) so callers can surface a compaction recommendation.
 
     Policy, in order: over-budget builds demote to ``sharded``; tiny builds
     (below :data:`BULK_BUILD_MIN_ELEMENTS` total elements) stay on the
@@ -361,13 +385,19 @@ def plan_build(
             f"{total_elements} elements is below the bulk pay-off floor "
             f"({BULK_BUILD_MIN_ELEMENTS})",
         )
+    amplified = ""
+    if n_existing_shards >= SHARD_FANOUT_MIN:
+        rectangles = (n_existing_shards + 1) * (n_existing_shards + 2) // 2
+        amplified = (f"; appending a delta to {n_existing_shards} existing "
+                     f"shards amplifies counting to {rectangles} rectangles "
+                     "— compaction recommended")
     if (n_workers >= 2 and n_sets >= PARALLEL_BUILD_MIN_SETS
             and total_elements >= PARALLEL_BUILD_MIN_ELEMENTS):
         return BuildPlan("parallel", n_workers,
-                         f"{n_sets} sets across {n_workers} workers")
+                         f"{n_sets} sets across {n_workers} workers" + amplified)
     return BuildPlan("bulk", 1,
                      f"{n_sets} sets / {total_elements} elements on the "
-                     "vectorized bulk engine")
+                     "vectorized bulk engine" + amplified)
 
 
 #: Candidate-words product (n_candidates * bitmap words) below which the

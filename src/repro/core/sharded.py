@@ -26,6 +26,7 @@ Identity guarantees (pinned by ``tests/test_sharded.py``):
 
 from __future__ import annotations
 
+import hashlib
 import json
 import shutil
 from dataclasses import dataclass
@@ -38,7 +39,13 @@ from repro.core.bulk_build import device_word_layout, pack_group_words
 from repro.core.collection import BatmapCollection, _dedup_sorted
 from repro.core.config import BatmapConfig, DEFAULT_CONFIG
 from repro.core.errors import LayoutError, SpillFormatError
-from repro.core.hashing import HashFamily, load_family, save_family
+from repro.core.hashing import (
+    ExtensibleHashFamily,
+    HashFamily,
+    load_family,
+    save_family,
+)
+from repro.utils.bits import pack_bytes_to_words, unpack_words_to_bytes
 from repro.utils.rng import RngLike
 from repro.utils.validation import require, require_positive
 
@@ -47,10 +54,13 @@ __all__ = [
     "MIN_WORKING_BUDGET",
     "MANIFEST_NAME",
     "FAMILY_NAME",
+    "TOMBSTONES_NAME",
+    "SUPPORTED_SPILL_VERSIONS",
     "set_packed_bytes",
     "fixed_resident_bytes",
     "working_budget",
     "plan_shard_ranges",
+    "write_spill_manifest",
     "ShardInfo",
     "ShardedCollection",
     "ShardedCollectionBuilder",
@@ -72,22 +82,32 @@ MANIFEST_NAME = "manifest.json"
 #: serving process can answer membership / decode queries without the build
 #: process's in-memory family.  Optional for pure pair counting.
 FAMILY_NAME = "family.npz"
-_SPILL_VERSION = 1
+#: Sorted physical set ids deleted from the collection (``int64``); absent
+#: or empty means no deletes.  Consulted by every read path before results
+#: surface, and purged physically by compaction.
+TOMBSTONES_NAME = "tombstones.npy"
+#: Current write version plus every older version readers still accept.
+_SPILL_VERSION = 2
+SUPPORTED_SPILL_VERSIONS = (1, 2)
 
 
-def fixed_resident_bytes(universe_size: int, n_sets: int) -> int:
+def fixed_resident_bytes(universe_size: int, n_sets: int,
+                         *, lazy_family: bool = False) -> int:
     """Resident bytes no amount of sharding can remove.
 
-    The shared hash family stores three permutations with their inverses
+    The eager hash family stores three permutations with their inverses
     (six ``int64`` arrays over the universe), and the all-pairs result is a
     dense ``int64`` ``n x n`` matrix.  Both are needed by the in-memory and
     the out-of-core paths alike; the configured memory budget must cover
-    them *plus* the shardable state.
+    them *plus* the shardable state.  An extensible (lazy) family derives
+    per-item parameters on demand, so its O(universe) term vanishes.
     """
-    return 48 * universe_size + 8 * n_sets * n_sets
+    family_bytes = 0 if lazy_family else 48 * universe_size
+    return family_bytes + 8 * n_sets * n_sets
 
 
-def working_budget(memory_budget: int, universe_size: int, n_sets: int) -> int:
+def working_budget(memory_budget: int, universe_size: int, n_sets: int,
+                   *, lazy_family: bool = False) -> int:
     """Budget left for shardable state after the fixed residents.
 
     Raises ``ValueError`` with the full accounting when the fixed residents
@@ -95,7 +115,7 @@ def working_budget(memory_budget: int, universe_size: int, n_sets: int) -> int:
     the hash family and the result matrix cannot hold any pipeline.
     """
     require_positive(memory_budget, "memory_budget")
-    fixed = fixed_resident_bytes(universe_size, n_sets)
+    fixed = fixed_resident_bytes(universe_size, n_sets, lazy_family=lazy_family)
     available = memory_budget - fixed
     if available < MIN_WORKING_BUDGET:
         raise ValueError(
@@ -174,6 +194,7 @@ class ShardInfo:
     build_backend: str
     order: np.ndarray       #: sorted slot -> local set index (lo-relative)
     failed: np.ndarray      #: (k, 2) [element, local set index] failed insertions
+    kind: str = "base"      #: "base" (original/compacted) or "delta" (appended)
 
     @property
     def n_sets(self) -> int:
@@ -184,6 +205,81 @@ class ShardInfo:
     def global_order(self) -> np.ndarray:
         """Sorted slot -> *global* set index."""
         return self.order + self.lo
+
+
+def write_spill_manifest(
+    spill_dir: Path,
+    *,
+    universe_size: int,
+    r0: int,
+    payload_bits: int,
+    shards: list,
+    generation: int,
+    family_kind: str,
+    n_tombstones: int = 0,
+) -> None:
+    """Write ``manifest.json`` (version :data:`_SPILL_VERSION`) for a spill.
+
+    The single writer shared by finalize / append / delete / compact, so
+    every mutation stamps the same schema (and a fresh ``generation``).
+    """
+    manifest = {
+        "version": _SPILL_VERSION,
+        "generation": int(generation),
+        "universe_size": int(universe_size),
+        "n_sets": int(shards[-1].hi) if shards else 0,
+        "n_tombstones": int(n_tombstones),
+        "r0": int(r0),
+        "payload_bits": int(payload_bits),
+        "family_kind": family_kind,
+        "shards": [
+            {
+                "dir": shard.directory.name,
+                "lo": shard.lo,
+                "hi": shard.hi,
+                "nbytes": shard.nbytes,
+                "build_backend": shard.build_backend,
+                "kind": shard.kind,
+            }
+            for shard in shards
+        ],
+    }
+    (Path(spill_dir) / MANIFEST_NAME).write_text(json.dumps(manifest, indent=1))
+
+
+def reinterleave_shard_words(
+    words: np.ndarray,
+    offsets: np.ndarray,
+    widths: np.ndarray,
+    old_r0: int,
+    new_r0: int,
+) -> np.ndarray:
+    """Repack every row from interleave granularity ``old_r0`` to ``new_r0``.
+
+    A pure byte permutation within each row — placements, widths and offsets
+    are untouched, only the Figure-4 interleave order changes.  Needed when
+    an append introduces a set whose range undercuts the collection-global
+    ``r0``: cross-shard folds require one uniform granularity, so existing
+    shards are rewritten at the new minimum.  Counts are interleave-
+    invariant, so this never changes a result.
+    """
+    require(old_r0 % new_r0 == 0,
+            f"new r0 {new_r0} must divide the old r0 {old_r0}")
+    out = np.array(words)
+    for k in range(int(offsets.size)):
+        lo = int(offsets[k])
+        width = int(widths[k])
+        entries = unpack_words_to_bytes(np.asarray(words[lo:lo + width]))
+        r = entries.size // 3
+        grid = entries.reshape(r // old_r0, 3 * old_r0)
+        per_table = [grid[:, t * old_r0:(t + 1) * old_r0].reshape(r)
+                     for t in range(3)]
+        new = np.empty((r // new_r0, 3 * new_r0), dtype=np.uint8)
+        for t in range(3):
+            new[:, t * new_r0:(t + 1) * new_r0] = per_table[t].reshape(
+                r // new_r0, new_r0)
+        out[lo:lo + width] = pack_bytes_to_words(new.reshape(-1))
+    return out
 
 
 def _spill_buffer_words(
@@ -261,8 +357,46 @@ class ShardedCollectionBuilder:
         self.build_workers = build_workers
         self.memory_budget = memory_budget
         self.shards: list[ShardInfo] = []
+        self.generation = 0
         self._next_lo = 0
         self._finalized = False
+
+    @classmethod
+    def for_append(
+        cls,
+        sharded: "ShardedCollection",
+        *,
+        config: BatmapConfig | None = None,
+        build_compute: str = "auto",
+        build_workers: int | None = None,
+        memory_budget: int | None = None,
+    ) -> "ShardedCollectionBuilder":
+        """Reopen a spilled collection's builder to ingest delta shards.
+
+        The returned builder carries the existing shard table, family and
+        ``r0``; :meth:`append` bulk-builds new sets into *delta* shards and
+        rewrites the manifest at the next generation.  ``config`` defaults
+        to the spill's recorded ``payload_bits`` over otherwise-default
+        knobs — pass the original config explicitly if it was customised
+        (placement identity with a from-scratch build requires it).
+        """
+        if config is None:
+            config = DEFAULT_CONFIG.with_(payload_bits=sharded.payload_bits)
+        family = sharded.family
+        if memory_budget is not None:
+            lazy = isinstance(family, ExtensibleHashFamily)
+            memory_budget = working_budget(
+                memory_budget, sharded.universe_size, sharded.n_physical_sets,
+                lazy_family=lazy)
+        builder = cls(
+            sharded.spill_dir, sharded.universe_size, sharded.r0,
+            family=family, config=config, build_compute=build_compute,
+            build_workers=build_workers, memory_budget=memory_budget,
+        )
+        builder.shards = list(sharded.shards)
+        builder.generation = sharded.generation
+        builder._next_lo = sharded.n_physical_sets
+        return builder
 
     def _shard_build_compute(self, sets) -> str:
         """Per-shard engine choice under the working budget.
@@ -276,12 +410,20 @@ class ShardedCollectionBuilder:
         if self.memory_budget is None or self.build_compute != "auto":
             return self.build_compute
         largest = max(np.asarray(s).size for s in sets)
-        r_max = max(4, self.config.range_for_size(int(largest), self.universe_size))
+        r_max = max(4, self.config.range_for_size(int(largest),
+                                                  self.family.range_universe))
         if 144 * r_max > self.memory_budget // 2:
             return "host"
         return self.build_compute
 
-    def add_shard(self, sets) -> ShardInfo:
+    def _fresh_shard_dir(self) -> Path:
+        """Next unused ``shard_NNNN`` directory (append skips taken names)."""
+        index = len(self.shards)
+        while (self.spill_dir / f"shard_{index:04d}").exists():
+            index += 1
+        return self.spill_dir / f"shard_{index:04d}"
+
+    def add_shard(self, sets, *, kind: str = "base") -> ShardInfo:
         """Build, spill and release one shard of sets (next global range)."""
         require(not self._finalized, "builder is already finalized")
         require(len(sets) > 0, "cannot add an empty shard")
@@ -296,7 +438,7 @@ class ShardedCollectionBuilder:
         )
         words, offsets, widths = _spill_buffer_words(collection, self.r0)
         index = len(self.shards)
-        shard_dir = self.spill_dir / f"shard_{index:04d}"
+        shard_dir = self._fresh_shard_dir()
         shard_dir.mkdir(exist_ok=True)
         np.save(shard_dir / "words.npy", words)
         np.save(shard_dir / "offsets.npy", offsets)
@@ -320,37 +462,111 @@ class ShardedCollectionBuilder:
                            if collection.build_plan else "host"),
             order=collection.order,
             failed=failed,
+            kind=kind,
         )
         self.shards.append(info)
         self._next_lo = info.hi
         return info
 
+    @property
+    def _family_kind(self) -> str:
+        return ("lazy" if isinstance(self.family, ExtensibleHashFamily)
+                else "eager")
+
+    def _load_tombstones(self) -> np.ndarray:
+        path = self.spill_dir / TOMBSTONES_NAME
+        if path.exists():
+            return np.asarray(np.load(path), dtype=np.int64)
+        return np.zeros(0, dtype=np.int64)
+
+    def append(self, sets, *, universe_size: int | None = None) -> "ShardedCollection":
+        """Bulk-build ``sets`` into delta shards and publish the next generation.
+
+        Placement identity makes this exact: each new set's cuckoo placement
+        depends only on (set, family, r, config), so the delta rows are
+        byte-identical to the rows a from-scratch build of the combined
+        dataset would hold.  Two structural adjustments may still be needed:
+
+        * **Universe growth** — if an element (or an explicit
+          ``universe_size``) exceeds the current universe, an extensible
+          family grows for free (same permutations, same placements); an
+          eager family cannot and raises ``ValueError``.
+        * **r0 lowering** — if a new set's range undercuts the collection
+          global ``r0``, every existing shard is re-interleaved at the new
+          minimum (:func:`reinterleave_shard_words`; a byte permutation,
+          counts unchanged).
+
+        Returns the re-attached collection at ``generation + 1``.
+        """
+        require(not self._finalized, "builder is already finalized")
+        require(len(sets) > 0, "cannot append zero sets")
+        dedup = [_dedup_sorted(s) for s in sets]
+        needed = max((int(d[-1]) + 1 for d in dedup if d.size), default=0)
+        target = max(self.universe_size, needed, universe_size or 0)
+        if target > self.universe_size:
+            if not isinstance(self.family, ExtensibleHashFamily):
+                raise ValueError(
+                    f"appending requires universe {target} but the spill's "
+                    f"eager hash family is fixed at {self.universe_size}: "
+                    "eager permutations materialize O(universe) state and "
+                    "cannot grow — rebuild with an extensible family "
+                    "(build-index --family lazy)")
+            self.family = self.family.grow(target)
+            self.universe_size = target
+
+        sizes = np.array([d.size for d in dedup], dtype=np.int64)
+        range_universe = self.family.range_universe
+        r_new = int(min(
+            max(4, self.config.range_for_size(int(size), range_universe))
+            for size in sizes.tolist()))
+        if r_new < self.r0:
+            for shard in self.shards:
+                words = np.load(shard.directory / "words.npy")
+                offsets = np.load(shard.directory / "offsets.npy")
+                widths = np.load(shard.directory / "widths.npy")
+                np.save(shard.directory / "words.npy",
+                        reinterleave_shard_words(words, offsets, widths,
+                                                 self.r0, r_new))
+            self.r0 = r_new
+
+        if self.memory_budget is not None:
+            packed = set_packed_bytes(sizes, range_universe, self.config)
+            ranges = plan_shard_ranges(packed, self.memory_budget)
+        else:
+            ranges = [(0, len(dedup))]
+        for lo, hi in ranges:
+            self.add_shard(dedup[lo:hi], kind="delta")
+
+        self.generation += 1
+        self._finalized = True
+        tombstones = self._load_tombstones()
+        write_spill_manifest(
+            self.spill_dir, universe_size=self.universe_size, r0=self.r0,
+            payload_bits=self.config.payload_bits, shards=self.shards,
+            generation=self.generation, family_kind=self._family_kind,
+            n_tombstones=int(tombstones.size),
+        )
+        save_family(self.spill_dir / FAMILY_NAME, self.family)
+        return ShardedCollection(self.spill_dir, self.universe_size, self.r0,
+                                 self.shards, family=self.family,
+                                 payload_bits=self.config.payload_bits,
+                                 generation=self.generation,
+                                 tombstones=tombstones)
+
     def finalize(self) -> "ShardedCollection":
         """Write the manifest and return the attached collection."""
         require(self.shards, "cannot finalize a sharded collection with no shards")
         self._finalized = True
-        manifest = {
-            "version": _SPILL_VERSION,
-            "universe_size": self.universe_size,
-            "n_sets": self._next_lo,
-            "r0": self.r0,
-            "payload_bits": self.config.payload_bits,
-            "shards": [
-                {
-                    "dir": shard.directory.name,
-                    "lo": shard.lo,
-                    "hi": shard.hi,
-                    "nbytes": shard.nbytes,
-                    "build_backend": shard.build_backend,
-                }
-                for shard in self.shards
-            ],
-        }
-        (self.spill_dir / MANIFEST_NAME).write_text(json.dumps(manifest, indent=1))
+        write_spill_manifest(
+            self.spill_dir, universe_size=self.universe_size, r0=self.r0,
+            payload_bits=self.config.payload_bits, shards=self.shards,
+            generation=self.generation, family_kind=self._family_kind,
+        )
         save_family(self.spill_dir / FAMILY_NAME, self.family)
         return ShardedCollection(self.spill_dir, self.universe_size, self.r0,
                                  self.shards, family=self.family,
-                                 payload_bits=self.config.payload_bits)
+                                 payload_bits=self.config.payload_bits,
+                                 generation=self.generation)
 
 
 class ShardedCollection:
@@ -366,15 +582,22 @@ class ShardedCollection:
 
     def __init__(self, spill_dir: Path, universe_size: int, r0: int,
                  shards: list, *, family: HashFamily | None = None,
-                 payload_bits: int = DEFAULT_CONFIG.payload_bits) -> None:
+                 payload_bits: int = DEFAULT_CONFIG.payload_bits,
+                 generation: int = 0,
+                 tombstones: np.ndarray | None = None) -> None:
         """Wrap already-spilled shards; use :meth:`build` or :meth:`from_spill`."""
         self.spill_dir = Path(spill_dir)
         self.universe_size = universe_size
         self.r0 = int(r0)
         self.shards = list(shards)
-        self.n_sets = self.shards[-1].hi if self.shards else 0
         self.payload_bits = int(payload_bits)
+        self.generation = int(generation)
+        self.tombstones = (np.zeros(0, dtype=np.int64) if tombstones is None
+                           else np.asarray(tombstones, dtype=np.int64))
         self._family = family
+        self._live_ids: np.ndarray | None = None
+        self._live_positions: np.ndarray | None = None
+        self._content_token: str | None = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -390,6 +613,8 @@ class ShardedCollection:
         config: BatmapConfig = DEFAULT_CONFIG,
         rng: RngLike = None,
         family: HashFamily | None = None,
+        family_kind: str = "eager",
+        family_capacity: int | None = None,
         build_compute: str = "auto",
         build_workers: int | None = None,
         max_sets_per_shard: int | None = None,
@@ -404,16 +629,34 @@ class ShardedCollection:
         """
         require(len(sets) > 0, "cannot build an empty collection")
         if family is None:
-            shift = config.shift_for_universe(universe_size)
-            family = HashFamily.create(universe_size, shift=shift, rng=rng)
+            if family_kind == "lazy":
+                # The default capacity is the current shift plateau (growth
+                # is free up to it); an explicit family_capacity buys more
+                # headroom at the cost of the larger plateau's range floor.
+                capacity = (family_capacity if family_capacity is not None
+                            else config.universe_capacity(universe_size))
+                require(capacity >= universe_size,
+                        f"family_capacity ({capacity}) must cover the "
+                        f"universe ({universe_size})")
+                family = ExtensibleHashFamily.create(
+                    universe_size, capacity=capacity,
+                    shift=config.shift_for_universe(capacity), rng=rng)
+            else:
+                require(family_kind == "eager",
+                        f"family_kind must be 'eager' or 'lazy', got {family_kind!r}")
+                shift = config.shift_for_universe(universe_size)
+                family = HashFamily.create(universe_size, shift=shift, rng=rng)
         dedup = [_dedup_sorted(s) for s in sets]
         sizes = np.array([d.size for d in dedup], dtype=np.int64)
-        packed = set_packed_bytes(sizes, universe_size, config)
-        available = working_budget(memory_budget, universe_size, len(sets))
+        range_universe = family.range_universe
+        packed = set_packed_bytes(sizes, range_universe, config)
+        available = working_budget(
+            memory_budget, universe_size, len(sets),
+            lazy_family=isinstance(family, ExtensibleHashFamily))
         ranges = plan_shard_ranges(packed, available,
                                    max_sets_per_shard=max_sets_per_shard)
         r0 = int(min(
-            max(4, config.range_for_size(int(size), universe_size))
+            max(4, config.range_for_size(int(size), range_universe))
             for size in sizes.tolist()
         ))
         builder = ShardedCollectionBuilder(
@@ -427,32 +670,62 @@ class ShardedCollection:
 
     @classmethod
     def from_spill(cls, spill_dir: str | Path) -> "ShardedCollection":
-        """Re-attach a previously spilled collection from its manifest."""
+        """Re-attach a previously spilled collection from its manifest.
+
+        Negotiates the spill version: the current version 2 (generation,
+        tombstones, shard kinds) and the pre-incremental version 1 (implied
+        generation 0, no tombstones) both attach; anything else — or a
+        manifest that is not valid JSON / is missing required fields —
+        raises :class:`~repro.core.errors.SpillFormatError`.
+        """
         spill_dir = Path(spill_dir)
         manifest_path = spill_dir / MANIFEST_NAME
         if not manifest_path.exists():
             raise SpillFormatError(f"no {MANIFEST_NAME} in {spill_dir}")
-        manifest = json.loads(manifest_path.read_text())
-        if manifest.get("version") != _SPILL_VERSION:
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
             raise SpillFormatError(
-                f"unsupported spill version {manifest.get('version')!r}")
-        shards = []
-        for k, entry in enumerate(manifest["shards"]):
-            directory = spill_dir / entry["dir"]
-            try:
-                order = np.load(directory / "order.npy")
-                failed = np.load(directory / "failed.npy")
-            except FileNotFoundError as exc:
-                raise SpillFormatError(f"shard spill {directory} is incomplete") from exc
-            shards.append(ShardInfo(
-                index=k, lo=int(entry["lo"]), hi=int(entry["hi"]),
-                directory=directory, nbytes=int(entry["nbytes"]),
-                build_backend=entry["build_backend"], order=order, failed=failed,
-            ))
-        return cls(spill_dir, int(manifest["universe_size"]),
-                   int(manifest["r0"]), shards,
+                f"{manifest_path} is corrupt: not valid JSON ({exc})") from exc
+        if not isinstance(manifest, dict):
+            raise SpillFormatError(f"{manifest_path} is corrupt: not an object")
+        version = manifest.get("version")
+        if version not in SUPPORTED_SPILL_VERSIONS:
+            raise SpillFormatError(
+                f"unsupported spill version {version!r} in {manifest_path} "
+                f"(supported: {', '.join(map(str, SUPPORTED_SPILL_VERSIONS))})")
+        try:
+            shards = []
+            for k, entry in enumerate(manifest["shards"]):
+                directory = spill_dir / entry["dir"]
+                try:
+                    order = np.load(directory / "order.npy")
+                    failed = np.load(directory / "failed.npy")
+                except FileNotFoundError as exc:
+                    raise SpillFormatError(
+                        f"shard spill {directory} is incomplete") from exc
+                shards.append(ShardInfo(
+                    index=k, lo=int(entry["lo"]), hi=int(entry["hi"]),
+                    directory=directory, nbytes=int(entry["nbytes"]),
+                    build_backend=entry["build_backend"], order=order,
+                    failed=failed, kind=entry.get("kind", "base"),
+                ))
+            universe_size = int(manifest["universe_size"])
+            r0 = int(manifest["r0"])
+        except (KeyError, TypeError, ValueError) as exc:
+            if isinstance(exc, SpillFormatError):
+                raise
+            raise SpillFormatError(
+                f"{manifest_path} is corrupt: {exc!r}") from exc
+        tombstones_path = spill_dir / TOMBSTONES_NAME
+        tombstones = (np.asarray(np.load(tombstones_path), dtype=np.int64)
+                      if tombstones_path.exists()
+                      else np.zeros(0, dtype=np.int64))
+        return cls(spill_dir, universe_size, r0, shards,
                    payload_bits=int(manifest.get(
-                       "payload_bits", DEFAULT_CONFIG.payload_bits)))
+                       "payload_bits", DEFAULT_CONFIG.payload_bits)),
+                   generation=int(manifest.get("generation", 0)),
+                   tombstones=tombstones)
 
     # ------------------------------------------------------------------ #
     # Access
@@ -461,9 +734,153 @@ class ShardedCollection:
         return self.n_sets
 
     @property
+    def n_physical_sets(self) -> int:
+        """Sets physically stored across all shards, tombstoned ones included."""
+        return self.shards[-1].hi if self.shards else 0
+
+    @property
+    def n_sets(self) -> int:
+        """Number of *live* sets — the public index space of every read path.
+
+        Equal to :attr:`n_physical_sets` until something is deleted.  Live
+        set ``i`` is physical set ``live_ids[i]``; results (counts, top-k,
+        failed lists, served responses) are expressed in live indices, which
+        is what makes a post-delete collection bit-identical to a
+        from-scratch build over only the surviving sets.
+        """
+        return self.n_physical_sets - int(self.tombstones.size)
+
+    @property
+    def live_ids(self) -> np.ndarray:
+        """Sorted physical ids of the live (non-tombstoned) sets."""
+        if self._live_ids is None:
+            self._live_ids = np.setdiff1d(
+                np.arange(self.n_physical_sets, dtype=np.int64),
+                self.tombstones, assume_unique=True)
+        return self._live_ids
+
+    @property
+    def live_positions(self) -> np.ndarray:
+        """Physical id -> live index, or -1 for tombstoned sets."""
+        if self._live_positions is None:
+            positions = np.full(self.n_physical_sets, -1, dtype=np.int64)
+            positions[self.live_ids] = np.arange(self.n_sets, dtype=np.int64)
+            self._live_positions = positions
+        return self._live_positions
+
+    def _invalidate(self) -> None:
+        self._live_ids = None
+        self._live_positions = None
+        self._content_token = None
+
+    @property
+    def content_token(self) -> str:
+        """Digest identifying this artifact's exact contents + generation.
+
+        Mixed into serving cache keys so a mutated collection can never
+        satisfy a query from a pre-mutation cache entry.  Derived from the
+        manifest bytes and the tombstone set — both change on every
+        append / delete / compact (the generation counter is stamped into
+        the manifest).
+        """
+        if self._content_token is None:
+            digest = hashlib.blake2b(digest_size=8)
+            manifest_path = self.spill_dir / MANIFEST_NAME
+            if manifest_path.exists():
+                digest.update(manifest_path.read_bytes())
+            digest.update(self.tombstones.tobytes())
+            self._content_token = f"g{self.generation}-{digest.hexdigest()}"
+        return self._content_token
+
+    @property
     def n_shards(self) -> int:
         """Number of spilled shards."""
         return len(self.shards)
+
+    # ------------------------------------------------------------------ #
+    # Mutation: append / delete (compaction lives in core.compaction)
+    # ------------------------------------------------------------------ #
+    def append(
+        self,
+        sets,
+        *,
+        universe_size: int | None = None,
+        config: BatmapConfig | None = None,
+        build_compute: str = "auto",
+        build_workers: int | None = None,
+        memory_budget: int | None = None,
+    ) -> "ShardedCollection":
+        """Ingest new sets as delta shards; see :meth:`ShardedCollectionBuilder.append`.
+
+        Mutates this object in place (shard table, r0, generation, family)
+        and also returns it, so both fluent and statement styles work.
+        """
+        builder = ShardedCollectionBuilder.for_append(
+            self, config=config, build_compute=build_compute,
+            build_workers=build_workers, memory_budget=memory_budget)
+        updated = builder.append(sets, universe_size=universe_size)
+        self.shards = updated.shards
+        self.universe_size = updated.universe_size
+        self.r0 = updated.r0
+        self.generation = updated.generation
+        self._family = updated._family
+        self._invalidate()
+        return self
+
+    def delete(self, set_ids) -> int:
+        """Tombstone live sets (ids in the *current live* index space).
+
+        Deletes are metadata-only: the rows stay on disk until compaction
+        purges them, but every read path consults the tombstone set first.
+        Returns the new generation.
+        """
+        ids = np.unique(np.asarray(set_ids, dtype=np.int64))
+        require(ids.size > 0, "delete requires at least one set id")
+        require(int(ids[0]) >= 0 and int(ids[-1]) < self.n_sets,
+                f"set ids must be in [0, {self.n_sets}), got "
+                f"[{int(ids[0])}, {int(ids[-1])}]")
+        physical = self.live_ids[ids]
+        self.tombstones = np.union1d(self.tombstones, physical)
+        np.save(self.spill_dir / TOMBSTONES_NAME, self.tombstones)
+        self.generation += 1
+        self._invalidate()
+        self._rewrite_manifest()
+        return self.generation
+
+    def compact(self, *, memory_budget: int | None = None,
+                full: bool = False) -> "ShardedCollection":
+        """Merge shards and purge tombstones; see :func:`repro.core.compaction.compact`.
+
+        Like :meth:`append` and :meth:`delete`, mutates this object in place
+        (shard table, tombstones, generation) and returns it; a planned
+        no-op leaves everything — including the generation — untouched.
+        """
+        from repro.core.compaction import compact  # local import: avoid a cycle
+
+        updated = compact(self, memory_budget=memory_budget, full=full)
+        if updated is not self:
+            self.shards = updated.shards
+            self.generation = updated.generation
+            self.tombstones = updated.tombstones
+            self._invalidate()
+        return self
+
+    def _rewrite_manifest(self) -> None:
+        """Re-stamp the manifest from this object's current state."""
+        write_spill_manifest(
+            self.spill_dir, universe_size=self.universe_size, r0=self.r0,
+            payload_bits=self.payload_bits, shards=self.shards,
+            generation=self.generation, family_kind=self.family_kind,
+            n_tombstones=int(self.tombstones.size),
+        )
+
+    @property
+    def family_kind(self) -> str:
+        """``"lazy"`` for an extensible family, ``"eager"`` otherwise."""
+        if self._family is None and not (self.spill_dir / FAMILY_NAME).exists():
+            return "eager"
+        return ("lazy" if isinstance(self.family, ExtensibleHashFamily)
+                else "eager")
 
     @property
     def total_packed_bytes(self) -> int:
@@ -517,11 +934,23 @@ class ShardedCollection:
         return WidthClassIndex(words, offsets, widths, **kwargs)
 
     def failed_insertions(self) -> dict:
-        """Map ``element -> [global set indices]`` of failed insertions."""
+        """Map ``element -> [live set indices]`` of failed insertions.
+
+        Tombstoned sets are dropped and the surviving indices are expressed
+        in the live index space, matching what a from-scratch build over
+        only the live sets would report.
+        """
+        live = self.live_positions if self.tombstones.size else None
         failures: dict[int, list[int]] = {}
         for shard in self.shards:
             for element, local in shard.failed.tolist():
-                failures.setdefault(int(element), []).append(int(local) + shard.lo)
+                physical = int(local) + shard.lo
+                if live is None:
+                    failures.setdefault(int(element), []).append(physical)
+                    continue
+                position = int(live[physical])
+                if position >= 0:
+                    failures.setdefault(int(element), []).append(position)
         for members in failures.values():
             members.sort()
         return failures

@@ -25,7 +25,7 @@ import numpy as np
 from repro.core.collection import BatmapCollection
 from repro.core.config import BatmapConfig, DEFAULT_CONFIG
 from repro.core.errors import DataFormatError
-from repro.core.hashing import HashFamily
+from repro.core.hashing import ExtensibleHashFamily, HashFamily
 from repro.core.sharded import (
     ShardedCollection,
     ShardedCollectionBuilder,
@@ -181,6 +181,8 @@ def preprocess_streaming(
     filter_items: bool = True,
     build_compute: str = "auto",
     build_workers: int | None = None,
+    family_kind: str = "eager",
+    family_capacity: int | None = None,
     chunk_transactions: int | None = None,
     chunk_items: int | None = None,
     max_transactions: int | None = None,
@@ -245,24 +247,40 @@ def preprocess_streaming(
     remap[kept] = np.arange(kept.size)
 
     universe = max(1, stats.n_transactions)
+    if family_kind == "lazy":
+        # Extensible family: later `repro ingest --append` calls may grow
+        # the universe up to the capacity without rehashing.
+        capacity = (family_capacity if family_capacity is not None
+                    else config.universe_capacity(universe))
+        require(capacity >= universe,
+                f"family_capacity ({capacity}) must cover the universe "
+                f"({universe})")
+        family = ExtensibleHashFamily.create(
+            universe, capacity=capacity,
+            shift=config.shift_for_universe(capacity), rng=rng)
+    else:
+        require(family_kind == "eager",
+                f"family_kind must be 'eager' or 'lazy', got {family_kind!r}")
+        shift = config.shift_for_universe(universe)
+        family = HashFamily.create(universe, shift=shift, rng=rng)
+    range_universe = family.range_universe
     # The budget must also hold the fixed residents (hash family, result
     # matrix); only what is left governs shard sizing and chunking.
-    available = working_budget(memory_budget, universe, int(kept.size))
+    available = working_budget(memory_budget, universe, int(kept.size),
+                               lazy_family=family_kind == "lazy")
     if auto_chunk:
         chunk_transactions = int(min(DEFAULT_CHUNK_TRANSACTIONS,
                                      max(64, available // (4 * 600))))
     if auto_items:
         chunk_items = int(min(DEFAULT_CHUNK_ITEMS,
                               max(1024, available // 160)))
-    packed = set_packed_bytes(sizes, universe, config)
+    packed = set_packed_bytes(sizes, range_universe, config)
     ranges = plan_shard_ranges(packed, available)
     bounds = np.array([hi for _, hi in ranges], dtype=np.int64)
     r0 = int(min(
-        max(4, config.range_for_size(int(size), universe))
+        max(4, config.range_for_size(int(size), range_universe))
         for size in sizes.tolist()
     ))
-    shift = config.shift_for_universe(universe)
-    family = HashFamily.create(universe, shift=shift, rng=rng)
 
     spill_dir = Path(spill_dir)
     parts_dir = spill_dir / "tidlists"

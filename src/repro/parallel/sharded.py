@@ -138,16 +138,17 @@ class ShardedPairCounter:
         if memory_budget is not None:
             # The dense result matrix is resident throughout counting; only
             # the remainder bounds the SWAR temporaries.
-            memory_budget = max(1, memory_budget - 8 * sharded.n_sets ** 2)
+            memory_budget = max(1, memory_budget - 8 * sharded.n_physical_sets ** 2)
         self.block_words = block_words_for_budget(memory_budget)
         self._mp_context = mp_context
         requested = {"auto": "auto", "host": "batch", "batch": "batch",
                      "parallel": "parallel"}[compute]
         features = PlanFeatures(
-            n_sets=sharded.n_sets,
+            n_sets=sharded.n_physical_sets,
             total_words=sharded.total_words,
             r0=sharded.r0,
             byte_entries=True,
+            n_shards=sharded.n_shards,
         )
         self.plan = plan_counts(features, requested=requested, workers=workers)
 
@@ -159,13 +160,25 @@ class ShardedPairCounter:
         return max(32, min(DEFAULT_TILE_CAP, largest))
 
     def counts(self) -> np.ndarray:
-        """Dense ``n x n`` count matrix in original (global) set order."""
+        """Dense count matrix over the *live* sets, in live index order.
+
+        Tiles are computed in physical (storage) space — tombstones never
+        change a stored row, so per-tile work is untouched — and the final
+        matrix drops tombstoned rows/columns, matching a from-scratch build
+        over only the live sets bit for bit.
+        """
         if self.plan.backend == "parallel":
-            return self._counts_parallel()
-        return self._counts_serial()
+            out = self._counts_parallel()
+        else:
+            out = self._counts_serial()
+        tombstones = getattr(self.sharded, "tombstones", None)
+        if tombstones is not None and tombstones.size:
+            live = self.sharded.live_ids
+            out = out[np.ix_(live, live)]
+        return out
 
     def _counts_serial(self) -> np.ndarray:
-        n = self.sharded.n_sets
+        n = self.sharded.n_physical_sets
         shards = self.sharded.shards
         out = np.zeros((n, n), dtype=np.int64)
         for p in range(len(shards)):
@@ -183,7 +196,7 @@ class ShardedPairCounter:
         return out
 
     def _counts_parallel(self) -> np.ndarray:
-        n = self.sharded.n_sets
+        n = self.sharded.n_physical_sets
         shards = self.sharded.shards
         edge = self._tile_edge()
         tasks = []

@@ -36,6 +36,22 @@ class QueueFullError(Exception):
     """Raised by :meth:`RequestBatcher.submit` when the bounded queue is full."""
 
 
+class _EngineSwap:
+    """Queue sentinel marking the point where a new engine takes over.
+
+    Requests enqueued before the sentinel execute against the old engine;
+    requests after it execute against the new one.  ``future`` resolves with
+    the *old* engine once the swap is applied, so the caller can close it
+    knowing no in-flight batch still reads its memory maps.
+    """
+
+    __slots__ = ("engine", "future")
+
+    def __init__(self, engine, future) -> None:
+        self.engine = engine
+        self.future = future
+
+
 def _member_result(mask: np.ndarray) -> list:
     return [bool(b) for b in mask]
 
@@ -91,7 +107,8 @@ class RequestBatcher:
             self._task = None
         if self._queue is not None:
             while not self._queue.empty():
-                _, _, future = self._queue.get_nowait()
+                item = self._queue.get_nowait()
+                future = item.future if isinstance(item, _EngineSwap) else item[2]
                 if not future.done():
                     future.set_exception(
                         ConnectionResetError("server shutting down"))
@@ -114,18 +131,54 @@ class RequestBatcher:
         self.metrics.observe_queue(self._queue.qsize())
         return future
 
+    async def swap_engine(self, engine) -> object:
+        """Atomically hand all *subsequent* requests to ``engine``.
+
+        A sentinel enters the queue behind every already-enqueued request,
+        so those still execute against the current engine; once the drain
+        loop reaches the sentinel it installs the new engine and this
+        coroutine returns the old one — at that point no batch that could
+        touch the old engine is queued or in flight, so the caller may
+        ``close()`` it (releasing its memory maps) without racing a query.
+        The live server's ``reload`` operation is exactly this plus a fresh
+        :meth:`~repro.core.sharded.ShardedCollection.from_spill` attach.
+        """
+        if self._queue is None:
+            raise RuntimeError("batcher not started")
+        marker = _EngineSwap(engine, asyncio.get_running_loop().create_future())
+        await self._queue.put(marker)
+        return await marker.future
+
+    def _apply_swap(self, swap: _EngineSwap) -> None:
+        old, self.engine = self.engine, swap.engine
+        if not swap.future.done():
+            swap.future.set_result(old)
+
     async def _drain(self) -> None:
         loop = asyncio.get_running_loop()
         while True:
-            batch = [await self._queue.get()]
+            first = await self._queue.get()
+            if isinstance(first, _EngineSwap):
+                self._apply_swap(first)
+                continue
+            batch = [first]
+            swap = None
             while len(batch) < self.max_batch:
                 try:
-                    batch.append(self._queue.get_nowait())
+                    item = self._queue.get_nowait()
                 except asyncio.QueueEmpty:
                     break
+                if isinstance(item, _EngineSwap):
+                    # The batch collected so far predates the swap: run it
+                    # on the old engine first, then install the new one.
+                    swap = item
+                    break
+                batch.append(item)
             live = [(op, params, fut) for op, params, fut in batch
                     if not fut.done()]          # timed-out entries are skipped
             if not live:
+                if swap is not None:
+                    self._apply_swap(swap)
                 continue
             self.metrics.record_batch(len(live))
             try:
@@ -139,6 +192,9 @@ class RequestBatcher:
                     if not future.done():
                         future.set_exception(
                             ConnectionResetError("server shutting down"))
+                if swap is not None and not swap.future.done():
+                    swap.future.set_exception(
+                        ConnectionResetError("server shutting down"))
                 raise
             for (_, _, future), (ok, value) in zip(live, outcomes):
                 if future.done():
@@ -147,6 +203,8 @@ class RequestBatcher:
                     future.set_result(value)
                 else:
                     future.set_exception(value)
+            if swap is not None:
+                self._apply_swap(swap)
 
     # ------------------------------------------------------------------ #
     # Executor side (synchronous NumPy work)

@@ -1,8 +1,17 @@
-"""LRU result cache for served queries, keyed on request digests.
+"""LRU result cache for served queries, keyed on generation-scoped digests.
 
-Served results are immutable functions of the attached artifact (the spill
-is read-only for the server's lifetime), so caching needs no invalidation —
-only bounded capacity.  Keys are the canonical digests of
+Served results are immutable functions of one *generation* of the attached
+artifact — but the artifact itself is no longer immutable: ``repro ingest
+--append``, ``repro delete`` and ``repro compact`` all produce a new
+generation that a live server picks up via the ``reload`` operation.  The
+cache therefore never invalidates entries explicitly; instead the server
+namespaces every key with the engine's artifact token
+(:attr:`repro.core.sharded.ShardedCollection.content_token` — generation
+counter plus a digest of the manifest and tombstone bytes), so keys from a
+superseded generation simply stop matching and age out of the LRU.  A
+pre-ingest result can never answer a post-ingest query.
+
+Keys are ``"{artifact_token}:{query_digest}"`` with the digest from
 :func:`repro.serve.protocol.query_digest`; values are the already-JSON-able
 result payloads, so a hit skips both the NumPy work and the result
 conversion.

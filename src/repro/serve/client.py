@@ -74,6 +74,10 @@ class ServeClient:
         """Live server counters (latency percentiles, cache, batching)."""
         return self.request("metrics")
 
+    def reload(self) -> dict:
+        """Swap the server to the spill directory's current generation."""
+        return self.request("reload")
+
     def member(self, set_id: int, elements) -> list:
         """Membership of ``elements`` in set ``set_id`` (list of bools)."""
         return self.request("member", set=int(set_id),

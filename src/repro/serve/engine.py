@@ -22,6 +22,12 @@ answers each query family with the narrowest existing vectorised primitive:
 Every public method returns exactly what the equivalent direct
 :class:`~repro.core.collection.BatmapCollection` call returns — the
 bit-identity contract ``tests/test_serve_engine.py`` pins.
+
+Set indices in every query are **live** indices: tombstoned sets (see
+:meth:`~repro.core.sharded.ShardedCollection.delete`) are invisible — they
+cannot be probed, never appear among top-k candidates or count-row columns,
+and the index space is dense over the surviving sets, exactly as if the
+collection had been built from scratch without them.
 """
 
 from __future__ import annotations
@@ -60,8 +66,12 @@ class SpillQueryEngine:
         self.sharded = sharded
         self.family = sharded.family          # raises on pre-family spills
         self.config = DEFAULT_CONFIG.with_(payload_bits=sharded.payload_bits)
-        self.n_sets = sharded.n_sets
+        self.n_sets = sharded.n_sets          # live sets (tombstones excluded)
+        self.generation = sharded.generation
         self.universe_size = sharded.universe_size
+        #: live index -> physical (storage) index; identity when no tombstones
+        self._live_ids = sharded.live_ids
+        self._has_tombstones = sharded.tombstones.size > 0
         self._shard_los = np.array([s.lo for s in sharded.shards], dtype=np.int64)
         self._indexes = [
             sharded.attach(s, block_words=block_words)
@@ -84,21 +94,25 @@ class SpillQueryEngine:
     # Addressing
     # ------------------------------------------------------------------ #
     def shard_of(self, set_ids: np.ndarray) -> np.ndarray:
-        """Shard index holding each global set id."""
+        """Shard index holding each *physical* set id."""
         return np.searchsorted(self._shard_los, set_ids, side="right") - 1
 
     def _slot_of(self, shard: int, set_ids: np.ndarray) -> np.ndarray:
-        """Width-sorted slots of global ``set_ids`` living in ``shard``."""
+        """Width-sorted slots of physical ``set_ids`` living in ``shard``."""
         return self._ranks[shard][set_ids - self._shard_los[shard]]
 
     def check_set_ids(self, set_ids) -> np.ndarray:
-        """Validate global set indices, returning them as an int64 array."""
+        """Validate live set indices, returning them as an int64 array."""
         ids = np.asarray(set_ids, dtype=np.int64).ravel()
         if ids.size and (ids.min() < 0 or ids.max() >= self.n_sets):
             bad = int(ids[(ids < 0) | (ids >= self.n_sets)][0])
             raise IndexError(
                 f"set index {bad} out of range for {self.n_sets} sets")
         return ids
+
+    def _physical(self, live: np.ndarray) -> np.ndarray:
+        """Map validated live indices to physical storage indices."""
+        return self._live_ids[live]
 
     # ------------------------------------------------------------------ #
     # Batmap rehydration (multiway / decode serving)
@@ -120,9 +134,10 @@ class SpillQueryEngine:
             if cached is not None:
                 self._batmaps.move_to_end(set_index)
                 return cached
-        shard = int(self.shard_of(np.array([set_index]))[0])
+        physical = int(self._live_ids[set_index])
+        shard = int(self.shard_of(np.array([physical]))[0])
         index = self._indexes[shard]
-        slot = int(self._slot_of(shard, np.array([set_index]))[0])
+        slot = int(self._slot_of(shard, np.array([physical]))[0])
         width = int(index.widths[slot])
         offset = int(index.offsets[slot])
         device = unpack_words_to_bytes(np.asarray(index.words[offset:offset + width]))
@@ -134,7 +149,7 @@ class SpillQueryEngine:
         for t in range(3):
             entries[t] = interleaved[:, t * r0:(t + 1) * r0].reshape(r)
         failed_pairs = self._failed_by_shard[shard]
-        local = set_index - int(self._shard_los[shard])
+        local = physical - int(self._shard_los[shard])
         failed = tuple(int(e) for e, li in failed_pairs.tolist() if li == local)
         stored = int(np.count_nonzero(entries)) // 2
         bm = Batmap(
@@ -219,6 +234,7 @@ class SpillQueryEngine:
         if pairs.shape[0] == 0:
             return np.zeros(0, dtype=np.int64)
         self.check_set_ids(pairs)
+        pairs = self._physical(pairs)
         # Counting is symmetric; orient every pair with the lower shard first
         # so each unordered shard combination forms a single group.
         shards = self.shard_of(pairs)
@@ -246,21 +262,27 @@ class SpillQueryEngine:
         One ``cross_index`` rectangle per (query shard, target shard) pair,
         shared across every queried row — the primitive behind coalesced
         top-k serving.  Row ``k`` equals row ``set_ids[k]`` of
-        ``count_all_pairs()`` bit-for-bit.
+        ``count_all_pairs()`` bit-for-bit.  Rectangles are computed in
+        physical (storage) space, then tombstoned columns are dropped so
+        every returned column is a live set in live index order.
         """
         set_ids = self.check_set_ids(set_ids)
-        out = np.zeros((set_ids.size, self.n_sets), dtype=np.int64)
         if set_ids.size == 0:
-            return out
-        row_shards = self.shard_of(set_ids)
+            return np.zeros((0, self.n_sets), dtype=np.int64)
+        physical = self._physical(set_ids)
+        out = np.zeros((set_ids.size, self.sharded.n_physical_sets),
+                       dtype=np.int64)
+        row_shards = self.shard_of(physical)
         for p in np.unique(row_shards).tolist():
             row_mask = row_shards == p
-            row_slots = self._slot_of(p, set_ids[row_mask])
+            row_slots = self._slot_of(p, physical[row_mask])
             row_positions = np.nonzero(row_mask)[0]
             for q in range(self.sharded.n_shards):
                 block = self._indexes[p].cross_index(self._indexes[q], row_slots, None)
                 cols_global = self.sharded.shards[q].global_order
                 out[np.ix_(row_positions, cols_global)] = block
+        if self._has_tombstones:
+            out = out[:, self._live_ids]
         return out
 
     def top_k_batch(self, requests) -> list:
@@ -305,11 +327,26 @@ class SpillQueryEngine:
     # ------------------------------------------------------------------ #
     # Introspection / lifecycle
     # ------------------------------------------------------------------ #
+    @property
+    def artifact_token(self) -> str:
+        """Content token of the attached generation — the cache-key namespace.
+
+        Changes whenever the artifact changes (append, delete, compaction),
+        so results cached under one token can never answer queries against
+        another generation of the collection.
+        """
+        return self.sharded.content_token
+
     def stats(self) -> dict:
         """Artifact summary served by the ``stats`` operation."""
         return {
             "n_sets": self.n_sets,
+            "n_physical_sets": self.sharded.n_physical_sets,
+            "n_tombstones": int(self.sharded.tombstones.size),
             "n_shards": self.sharded.n_shards,
+            "generation": self.generation,
+            "family_kind": self.sharded.family_kind,
+            "artifact_token": self.artifact_token,
             "universe_size": self.universe_size,
             "r0": self.sharded.r0,
             "payload_bits": self.sharded.payload_bits,

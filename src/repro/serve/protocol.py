@@ -23,11 +23,18 @@ op         parameters                                      result
 `ping`     —                                               ``"pong"``
 `stats`    —                                               artifact summary
 `metrics`  —                                               server counters
+`reload`   —                                               new generation info
 `member`   ``set`` (int), ``elements`` (list of ints)      list of bools
 `count`    ``pairs`` (list of ``[i, j]``)                  list of ints
 `multiway` ``sets`` (list of >= 2 distinct ints)           elements object
 `topk`     ``set`` (int), ``k`` (int >= 1)                 ``[[j, count]]``
 ========== =============================================== ================
+
+``reload`` re-attaches the spill directory in place — after an out-of-band
+``repro ingest --append`` / ``repro delete`` / ``repro compact``, it swaps
+the serving engine to the new generation with no dropped requests (queries
+queued before the reload answer from the old generation, queries after it
+from the new one).
 
 This module is pure data-plane: validation, canonicalisation and digests.
 It never touches sockets or NumPy, so both the asyncio server and the
@@ -61,11 +68,14 @@ PROTOCOL_VERSION = 1
 #: be split — the batcher would serialise it into one giant gather anyway.
 MAX_LINE_BYTES = 1 << 20
 
-OPS = ("ping", "stats", "metrics", "member", "count", "multiway", "topk")
+OPS = ("ping", "stats", "metrics", "reload",
+       "member", "count", "multiway", "topk")
 
 #: Operations whose results are immutable functions of the attached artifact
-#: and may therefore be cached.  ``ping`` is trivial and ``stats``/``metrics``
-#: must reflect live state.
+#: *generation* and may therefore be cached (the server namespaces their
+#: digests with the engine's artifact token).  ``ping`` is trivial,
+#: ``stats``/``metrics`` must reflect live state, and ``reload`` is a
+#: lifecycle action, not a query.
 CACHEABLE_OPS = frozenset({"member", "count", "multiway", "topk"})
 
 ERROR_CODES = (
@@ -131,7 +141,7 @@ def normalize_params(request: dict) -> dict:
     if not isinstance(op, str) or op not in OPS:
         raise ProtocolError(f"unknown op {op!r}; expected one of {list(OPS)}",
                             code="unknown-op")
-    if op in ("ping", "stats", "metrics"):
+    if op in ("ping", "stats", "metrics", "reload"):
         return {"op": op}
     if op == "member":
         return {

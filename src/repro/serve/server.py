@@ -117,10 +117,8 @@ class BatmapServer:
         Returns ``(host, port)`` actually bound (resolving ``port=0``).
         """
         self._shutdown_event = asyncio.Event()
-        sharded = ShardedCollection.from_spill(self.spill_dir)
-        self.engine = SpillQueryEngine(
-            sharded, block_words=self.block_words,
-            batmap_cache_sets=self.batmap_cache_sets)
+        self._reload_lock = asyncio.Lock()
+        self.engine = self._attach_engine()
         self.batcher = RequestBatcher(
             self.engine, self.metrics,
             max_batch=self.max_batch, max_queue=self.max_queue)
@@ -130,6 +128,36 @@ class BatmapServer:
         sockname = self._server.sockets[0].getsockname()
         self.bound_host, self.bound_port = sockname[0], int(sockname[1])
         return self.bound_host, self.bound_port
+
+    def _attach_engine(self) -> SpillQueryEngine:
+        """Attach the spill directory's current generation as a fresh engine."""
+        sharded = ShardedCollection.from_spill(self.spill_dir)
+        return SpillQueryEngine(
+            sharded, block_words=self.block_words,
+            batmap_cache_sets=self.batmap_cache_sets)
+
+    async def _reload(self) -> dict:
+        """Swap to the spill directory's current generation without downtime.
+
+        The fresh attach happens in the executor (off the event loop); the
+        batcher then routes new queries to the new engine while queries that
+        were already queued finish against the old one, which is closed only
+        after its last batch completes.  Cache entries from the old
+        generation become unreachable automatically because cache keys are
+        namespaced by the engine's artifact token.
+        """
+        async with self._reload_lock:
+            loop = asyncio.get_running_loop()
+            engine = await loop.run_in_executor(None, self._attach_engine)
+            old = await self.batcher.swap_engine(engine)
+            self.engine = engine
+            old.close()
+            return {
+                "generation": engine.generation,
+                "n_sets": engine.n_sets,
+                "n_shards": engine.sharded.n_shards,
+                "artifact_token": engine.artifact_token,
+            }
 
     def request_shutdown(self) -> None:
         """Signal the serve loop to drain and stop (loop-thread safe only).
@@ -257,7 +285,13 @@ class BatmapServer:
             snapshot["cache"] = self.cache.snapshot()
             snapshot["served_lines"] = self._served
             return snapshot
-        digest = query_digest(params) if op in CACHEABLE_OPS else None
+        if op == "reload":
+            return await self._reload()
+        # Cache keys are namespaced by the artifact token so a reload to a
+        # new generation can never serve a stale pre-ingest result.
+        token = self.engine.artifact_token
+        digest = (f"{token}:{query_digest(params)}"
+                  if op in CACHEABLE_OPS else None)
         if digest is not None:
             cached = self.cache.get(digest)
             if cached is not MISS:
@@ -269,7 +303,10 @@ class BatmapServer:
             # wait_for cancelled the future; the drain loop skips done
             # (cancelled) entries, so the work is shed, not just abandoned.
             raise
-        if digest is not None:
+        if digest is not None and self.engine.artifact_token == token:
+            # A reload that raced this request may have executed it against
+            # the *new* generation; skip the fill rather than poison the old
+            # token's namespace.
             self.cache.put(digest, result)
         return result
 

@@ -1,0 +1,145 @@
+"""Extensible (lazy) hash family: growth, determinism, persistence, memory.
+
+The incremental-ingest contract rests on one property: growing the universe
+within the reserved capacity changes *nothing* about how already-placed
+elements hash.  These tests pin that property directly on the family, plus
+the resource claim that makes the lazy family worth having — O(items
+touched) resident memory instead of O(universe) permutation tables.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG
+from repro.core.hashing import (
+    ExtensibleHashFamily,
+    HashFamily,
+    load_family,
+    save_family,
+)
+
+
+def make_family(universe=500, capacity=1016, rng=11) -> ExtensibleHashFamily:
+    shift = DEFAULT_CONFIG.shift_for_universe(capacity)
+    return ExtensibleHashFamily.create(universe, capacity=capacity,
+                                       shift=shift, rng=rng)
+
+
+class TestGrowth:
+    def test_grow_within_capacity_preserves_hashing(self):
+        family = make_family()
+        grown = family.grow(900)
+        assert grown.universe_size == 900
+        assert grown.capacity == family.capacity
+        assert grown.shift == family.shift
+        elements = np.arange(500, dtype=np.int64)
+        for t in range(3):
+            np.testing.assert_array_equal(family.permuted(t, elements),
+                                          grown.permuted(t, elements))
+
+    def test_grow_is_idempotent_at_current_size(self):
+        family = make_family()
+        assert family.grow(family.universe_size) == family
+
+    def test_grow_beyond_capacity_raises(self):
+        family = make_family()
+        with pytest.raises(ValueError, match="capacity"):
+            family.grow(family.capacity + 1)
+
+    def test_grow_cannot_shrink(self):
+        family = make_family()
+        with pytest.raises(ValueError):
+            family.grow(family.universe_size - 1)
+
+    def test_range_universe_is_capacity(self):
+        # Range floors must not move when the universe grows — they are
+        # computed against the capacity, not the current universe.
+        family = make_family()
+        assert family.range_universe == family.capacity
+        assert family.grow(900).range_universe == family.capacity
+
+    def test_eager_family_range_universe_is_universe(self):
+        eager = HashFamily.create(500,
+                                  shift=DEFAULT_CONFIG.shift_for_universe(500),
+                                  rng=11)
+        assert eager.range_universe == 500
+
+
+class TestDeterminism:
+    def test_same_seed_same_capacity_same_family(self):
+        assert make_family(rng=11) == make_family(rng=11)
+
+    def test_grown_family_equals_fresh_family_at_larger_universe(self):
+        # The invariant behind `repro ingest --append`: the family a grown
+        # collection persists is exactly the family a from-scratch build of
+        # the larger dataset creates from the same seed and capacity.
+        grown = make_family(universe=500, rng=11).grow(900)
+        fresh = make_family(universe=900, rng=11)
+        assert grown == fresh
+
+    def test_different_seed_differs(self):
+        assert make_family(rng=11) != make_family(rng=12)
+
+    def test_capacity_participates_in_equality(self):
+        shift = DEFAULT_CONFIG.shift_for_universe(1016)
+        a = ExtensibleHashFamily.create(500, capacity=1016, shift=shift, rng=5)
+        b = ExtensibleHashFamily.create(500, capacity=508, shift=shift, rng=5)
+        assert a != b
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        family = make_family()
+        path = tmp_path / "family.npz"
+        save_family(path, family)
+        loaded = load_family(path)
+        assert isinstance(loaded, ExtensibleHashFamily)
+        assert loaded == family
+        assert loaded.capacity == family.capacity
+        elements = np.arange(500, dtype=np.int64)
+        for t in range(3):
+            np.testing.assert_array_equal(family.permuted(t, elements),
+                                          loaded.permuted(t, elements))
+
+    def test_save_load_roundtrip_after_growth(self, tmp_path):
+        grown = make_family().grow(777)
+        path = tmp_path / "family.npz"
+        save_family(path, grown)
+        loaded = load_family(path)
+        assert loaded == grown
+        assert loaded.universe_size == 777
+
+    def test_eager_family_load_stays_eager(self, tmp_path):
+        eager = HashFamily.create(500,
+                                  shift=DEFAULT_CONFIG.shift_for_universe(500),
+                                  rng=11)
+        path = tmp_path / "family.npz"
+        save_family(path, eager)
+        loaded = load_family(path)
+        assert not isinstance(loaded, ExtensibleHashFamily)
+        assert loaded == eager
+
+
+class TestResidentMemory:
+    def test_lazy_family_is_o_items_not_o_universe(self):
+        # A million-element capacity with an eager family would materialise
+        # three ~8 MB permutation tables.  The extensible family must stay
+        # proportional to the items actually hashed.
+        capacity = 1 << 20
+        shift = DEFAULT_CONFIG.shift_for_universe(capacity)
+        probe = np.arange(256, dtype=np.int64)
+        tracemalloc.start()
+        try:
+            family = ExtensibleHashFamily.create(
+                1 << 20, capacity=capacity, shift=shift, rng=3)
+            for t in range(3):
+                family.permuted(t, probe)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert peak < 512 * 1024, (
+            f"extensible family peaked at {peak} B for 256 probed items")
