@@ -1,0 +1,115 @@
+"""Crash recovery: what verify and repair cost on a real artifact.
+
+PR 9 made every spill mutation an atomic commit and added ``repro verify``
+(full checksum walk) and ``repro repair`` (roll back to the last committed
+generation, sweep orphans).  This benchmark prices that safety net: it
+builds a sharded artifact, times a clean ``verify_spill`` pass, crashes a
+full compaction at the ``commit.rename`` faultpoint, then times the
+post-crash verify and the repair.  A retried compaction must afterwards
+answer a query sample bit-identically to the pre-crash state — the
+benchmark refuses to publish numbers for a recovery that loses data.
+
+Headline series: ``verify_seconds`` (and the derived
+``verify_mb_per_second``), ``repair_seconds``.
+
+Scale knobs: ``REPRO_BENCH_RECOVERY_SETS`` (corpus size; CI downsizes).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import time_call
+from repro.core.integrity import repair_spill, verify_spill
+from repro.core.sharded import ShardedCollection
+from repro.serve.engine import SpillQueryEngine
+from repro.utils import faultpoints as fp
+from repro.utils.memory import parse_memory_size
+from tests.conftest import random_sets
+
+pytestmark = pytest.mark.bench
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+N_SETS = int(os.environ.get("REPRO_BENCH_RECOVERY_SETS", 400))
+UNIVERSE = 2048
+MIN_SIZE, MAX_SIZE = 20, 120
+BUDGET = parse_memory_size("2M")  # small on purpose: several shards to walk
+SEED = 17
+N_QUERY_SAMPLE = 100
+
+
+def _artifact_bytes(spill_dir) -> int:
+    return sum(p.stat().st_size for p in spill_dir.rglob("*") if p.is_file())
+
+
+def test_recovery(tmp_path, bench_artifact):
+    # The CI smoke and the delta report key on BENCH_recovery.json.
+    bench_artifact.name = "recovery"
+
+    rng = np.random.default_rng(5)
+    sets = random_sets(rng, N_SETS, UNIVERSE, min_size=MIN_SIZE, max_size=MAX_SIZE)
+    spill_dir = tmp_path / "recovery"
+    sharded = ShardedCollection.build(
+        sets, UNIVERSE, spill_dir, rng=SEED, memory_budget=BUDGET)
+    sharded.delete(range(0, N_SETS, 7))
+
+    pair_rng = np.random.default_rng(6)
+    pairs = pair_rng.integers(
+        0, sharded.n_sets, size=(N_QUERY_SAMPLE, 2)).astype(np.int64)
+    engine = SpillQueryEngine(sharded)
+    try:
+        expected_counts = engine.count_pairs(pairs)
+    finally:
+        engine.close()
+
+    total_bytes = _artifact_bytes(spill_dir)
+    verify_seconds, clean_report = time_call(verify_spill, spill_dir)
+    assert clean_report.ok and not clean_report.warnings, clean_report.render()
+
+    # Crash a full compaction mid-commit in a real subprocess: merged shards
+    # staged and fsynced, first rename about to land, manifest untouched.
+    # (An in-process InjectedFault would be aborted — and swept — by the
+    # commit context manager; only a hard exit leaves wreckage to repair.)
+    env = dict(os.environ, PYTHONPATH=SRC,
+               REPRO_FAULTPOINT="commit.rename",
+               REPRO_FAULTPOINT_MODE="exit")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "compact", str(spill_dir), "--full"],
+        env=env, capture_output=True, text=True, timeout=300)
+    assert proc.returncode == fp.FAULT_EXIT_CODE, proc.stderr
+
+    crash_verify_seconds, crashed_report = time_call(verify_spill, spill_dir)
+    assert crashed_report.ok, crashed_report.render()  # leftovers, not damage
+    assert crashed_report.warnings
+
+    repair_seconds, result = time_call(repair_spill, spill_dir)
+    assert result.report.ok and not result.report.warnings
+    assert result.actions  # the staged wreckage was actually swept
+
+    recovered = ShardedCollection.from_spill(spill_dir)
+    recovered.compact(full=True)
+    engine = SpillQueryEngine(recovered)
+    try:
+        np.testing.assert_array_equal(engine.count_pairs(pairs), expected_counts)
+    finally:
+        engine.close()
+
+    mb = total_bytes / 1e6
+    print(f"\n{N_SETS} sets, {sharded.n_shards} shards, {mb:.1f} MB | clean "
+          f"verify {verify_seconds:.3f}s ({mb / verify_seconds:.0f} MB/s) | "
+          f"post-crash verify {crash_verify_seconds:.3f}s | repair "
+          f"{repair_seconds:.3f}s ({len(result.actions)} sweeps)")
+    bench_artifact.add("n_sets", N_SETS)
+    bench_artifact.add("n_shards", sharded.n_shards)
+    bench_artifact.add("artifact_bytes", total_bytes)
+    bench_artifact.add("verify_seconds", verify_seconds)
+    bench_artifact.add("verify_mb_per_second", mb / verify_seconds)
+    bench_artifact.add("post_crash_verify_seconds", crash_verify_seconds)
+    bench_artifact.add("repair_seconds", repair_seconds)
+    bench_artifact.add("repair_actions", len(result.actions))

@@ -60,6 +60,20 @@ subcommands cover the workflows a downstream user actually runs:
     ``--memory-budget``.  A live server picks up the new generation via the
     ``reload`` operation without restarting.
 
+``repro verify``
+    Cross-check a spill artifact's manifest against its on-disk files:
+    content checksums (manifest version 3), structural invariants and
+    leftover garbage from interrupted mutations.  Damage is reported as
+    errors and exits 1; sweepable leftovers are warnings.  ``--json``
+    prints the structured report.
+
+``repro repair``
+    Roll a spill artifact back to its last committed generation: sweep
+    staging directories and orphaned files no generation references.
+    Always safe — the atomic-commit protocol never lets garbage share a
+    name with live state.  Exits 1 if damage remains after the sweep
+    (content damage needs a rebuild).
+
 ``repro serve``
     Serve membership, pairwise/multiway intersection and top-k-similarity
     queries over a spill artifact on a long-lived TCP socket
@@ -278,6 +292,23 @@ def build_parser() -> argparse.ArgumentParser:
     compact.add_argument("--memory-budget", default=None, metavar="SIZE",
                          help="resident-set ceiling for merged shards, e.g. "
                               "64M or 2G (bounds each merged shard's size)")
+
+    verify = sub.add_parser(
+        "verify",
+        help="check a spill artifact (checksums, cross-checks, garbage)")
+    verify.add_argument("spill_dir", type=Path,
+                        help="spill artifact directory to check")
+    verify.add_argument("--json", action="store_true",
+                        help="print the structured report as one JSON object")
+
+    repair = sub.add_parser(
+        "repair",
+        help="roll a spill artifact back to its last committed generation")
+    repair.add_argument("spill_dir", type=Path,
+                        help="spill artifact directory to repair")
+    repair.add_argument("--json", action="store_true",
+                        help="print the repair actions and post-repair "
+                             "report as one JSON object")
 
     serve = sub.add_parser(
         "serve", help="serve queries over a spill artifact (JSON over TCP)")
@@ -797,6 +828,43 @@ def _cmd_compact(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace, out) -> int:
+    """Verify a spill artifact; exit 1 on damage, 0 when clean."""
+    import json
+
+    from repro.core.integrity import verify_spill
+
+    report = verify_spill(args.spill_dir)
+    if args.json:
+        print(json.dumps(report.to_dict(), separators=(",", ":")), file=out)
+    else:
+        print(report.render(), file=out)
+    return 0 if report.ok else 1
+
+
+def _cmd_repair(args: argparse.Namespace, out) -> int:
+    """Sweep crash leftovers; exit 1 if damage remains after the sweep."""
+    import json
+
+    from repro.core.integrity import repair_spill
+
+    result = repair_spill(args.spill_dir)
+    if args.json:
+        print(json.dumps(result.to_dict(), separators=(",", ":")), file=out)
+        return 0 if result.report.ok else 1
+    if result.actions:
+        for action in result.actions:
+            print(action, file=out)
+    else:
+        print("nothing to sweep: no crash leftovers found", file=out)
+    print(result.report.render(), file=out)
+    if not result.report.ok:
+        print("damage remains after repair; rebuild the artifact with "
+              "`repro build-index`", file=out)
+        return 1
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace, out) -> int:
     """Attach a spill artifact and serve queries until interrupted."""
     import asyncio
@@ -895,6 +963,10 @@ def main(argv: list[str] | None = None, out=None) -> int:
             return _cmd_delete(args, out)
         if args.command == "compact":
             return _cmd_compact(args, out)
+        if args.command == "verify":
+            return _cmd_verify(args, out)
+        if args.command == "repair":
+            return _cmd_repair(args, out)
         if args.command == "serve":
             return _cmd_serve(args, out)
         if args.command == "query":

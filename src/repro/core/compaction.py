@@ -24,18 +24,18 @@ phase never holds more resident bytes than the original build did.
 
 from __future__ import annotations
 
-import shutil
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.integrity import AtomicCommit, file_digest
 from repro.core.sharded import (
     SHARD_BUDGET_DIVISOR,
-    TOMBSTONES_NAME,
     ShardInfo,
     ShardedCollection,
-    write_spill_manifest,
+    build_spill_manifest,
 )
+from repro.utils.faultpoints import faultpoint
 from repro.utils.validation import require, require_positive
 
 __all__ = [
@@ -220,15 +220,16 @@ def _merge_group(
               if failed_pairs else np.zeros((0, 2), dtype=np.int64))
 
     directory.mkdir(exist_ok=True)
-    np.save(directory / "words.npy", merged_words)
-    np.save(directory / "offsets.npy", offsets)
-    np.save(directory / "widths.npy", sorted_widths)
-    np.save(directory / "order.npy", order)
-    np.save(directory / "failed.npy", failed)
+    digests = {}
+    for name, array in (("words.npy", merged_words), ("offsets.npy", offsets),
+                        ("widths.npy", sorted_widths), ("order.npy", order),
+                        ("failed.npy", failed)):
+        np.save(directory / name, array)
+        digests[name] = file_digest(directory / name)
     info = ShardInfo(
         index=0, lo=0, hi=n_rows, directory=directory,
         nbytes=int(merged_words.nbytes), build_backend="compacted",
-        order=order, failed=failed, kind="base",
+        order=order, failed=failed, kind="base", file_digests=digests,
     )
     return info, purged
 
@@ -273,69 +274,90 @@ def compact(
         return sharded
 
     generation = sharded.generation + 1
-    new_shards: list[ShardInfo] = []
-    consumed_dirs = []
-    running_lo = 0
-    merged_count = 0
-    k = 0
-    while k < len(sharded.shards):
-        task = by_start.get(k)
-        if task is None or _is_noop(task):
-            shard = sharded.shards[k]
-            n = shard.n_sets
-            new_shards.append(ShardInfo(
-                index=len(new_shards), lo=running_lo, hi=running_lo + n,
-                directory=shard.directory, nbytes=shard.nbytes,
-                build_backend=shard.build_backend, order=shard.order,
-                failed=shard.failed, kind=shard.kind,
-            ))
-            running_lo += n
-            k += 1
-            continue
-        members = sharded.shards[task.start:task.stop]
-        directory = sharded.spill_dir / f"compact_{generation:04d}_{merged_count:04d}"
-        merged_count += 1
-        info, _ = _merge_group(sharded, members, directory, tombstoned)
-        if info.hi > 0:  # skip fully-purged (empty) groups entirely
-            new_shards.append(ShardInfo(
-                index=len(new_shards), lo=running_lo, hi=running_lo + info.hi,
-                directory=info.directory, nbytes=info.nbytes,
-                build_backend=info.build_backend, order=info.order,
-                failed=info.failed, kind=info.kind,
-            ))
-            running_lo += info.hi
-        else:
-            consumed_dirs.append(directory)
-        consumed_dirs.extend(shard.directory for shard in members)
-        k = task.stop
+    commit = AtomicCommit(sharded.spill_dir)
+    try:
+        new_shards: list[ShardInfo] = []
+        running_lo = 0
+        merged_count = 0
+        k = 0
+        while k < len(sharded.shards):
+            task = by_start.get(k)
+            if task is None or _is_noop(task):
+                shard = sharded.shards[k]
+                n = shard.n_sets
+                new_shards.append(ShardInfo(
+                    index=len(new_shards), lo=running_lo, hi=running_lo + n,
+                    directory=shard.directory, nbytes=shard.nbytes,
+                    build_backend=shard.build_backend, order=shard.order,
+                    failed=shard.failed, kind=shard.kind,
+                    file_digests=shard.file_digests,
+                ))
+                running_lo += n
+                k += 1
+                continue
+            members = sharded.shards[task.start:task.stop]
+            name = f"compact_{generation:04d}_{merged_count:04d}"
+            merged_count += 1
+            faultpoint("compact.merge")
+            info, _ = _merge_group(sharded, members, commit.stage(name),
+                                   tombstoned)
+            if info.hi > 0:  # skip fully-purged (empty) groups entirely
+                new_shards.append(ShardInfo(
+                    index=len(new_shards), lo=running_lo,
+                    hi=running_lo + info.hi,
+                    directory=sharded.spill_dir / name, nbytes=info.nbytes,
+                    build_backend=info.build_backend, order=info.order,
+                    failed=info.failed, kind=info.kind,
+                    file_digests=info.file_digests,
+                ))
+                running_lo += info.hi
+            else:
+                # The staged (empty) directory still gets renamed in at
+                # commit; unreferenced, it is swept as garbage right after.
+                commit.add_garbage(sharded.spill_dir / name)
+            for shard in members:
+                commit.add_garbage(shard.directory)
+            k = task.stop
 
-    # Remap tombstones: rows in rewritten groups were purged (dropped from
-    # the set); rows in kept shards shift down by the purges before them.
-    keep_mask = np.ones(sharded.n_physical_sets, dtype=bool)
-    for task in effective:
-        lo = sharded.shards[task.start].lo
-        hi = sharded.shards[task.stop - 1].hi
-        keep_mask[lo:hi] &= ~tombstoned[lo:hi]
-    new_ids = np.cumsum(keep_mask) - 1
-    old_tombstones = sharded.tombstones
-    surviving = old_tombstones[keep_mask[old_tombstones]]
-    new_tombstones = new_ids[surviving].astype(np.int64)
+        # Remap tombstones: rows in rewritten groups were purged (dropped
+        # from the set); rows in kept shards shift down by the purges
+        # before them.
+        keep_mask = np.ones(sharded.n_physical_sets, dtype=bool)
+        for task in effective:
+            lo = sharded.shards[task.start].lo
+            hi = sharded.shards[task.stop - 1].hi
+            keep_mask[lo:hi] &= ~tombstoned[lo:hi]
+        new_ids = np.cumsum(keep_mask) - 1
+        old_tombstones = sharded.tombstones
+        surviving = old_tombstones[keep_mask[old_tombstones]]
+        new_tombstones = new_ids[surviving].astype(np.int64)
 
-    tombstones_path = sharded.spill_dir / TOMBSTONES_NAME
-    if new_tombstones.size:
-        np.save(tombstones_path, new_tombstones)
-    elif tombstones_path.exists():
-        tombstones_path.unlink()
-    write_spill_manifest(
-        sharded.spill_dir, universe_size=sharded.universe_size, r0=sharded.r0,
-        payload_bits=sharded.payload_bits, shards=new_shards,
-        generation=generation, family_kind=sharded.family_kind,
-        n_tombstones=int(new_tombstones.size),
-    )
-    for directory in consumed_dirs:
-        shutil.rmtree(directory, ignore_errors=True)
+        tombstones_entry = None
+        tombstones_file = tombstones_digest = None
+        if new_tombstones.size:
+            tombstones_file = f"tombstones_{generation:04d}.npy"
+            staged = commit.stage(tombstones_file)
+            np.save(staged, new_tombstones)
+            tombstones_digest = file_digest(staged)
+            tombstones_entry = {"file": tombstones_file,
+                                "digest": tombstones_digest,
+                                "n": int(new_tombstones.size)}
+        if sharded.tombstones_file is not None:
+            commit.add_garbage(sharded.spill_dir / sharded.tombstones_file)
+        manifest = build_spill_manifest(
+            universe_size=sharded.universe_size, r0=sharded.r0,
+            payload_bits=sharded.payload_bits, shards=new_shards,
+            generation=generation, family_kind=sharded.family_kind,
+            tombstones=tombstones_entry, family=sharded._family_entry(),
+        )
+        commit.commit(manifest)
+    except BaseException:
+        commit.abort()
+        raise
     return ShardedCollection(
         sharded.spill_dir, sharded.universe_size, sharded.r0, new_shards,
         family=sharded._family, payload_bits=sharded.payload_bits,
         generation=generation, tombstones=new_tombstones,
+        tombstones_file=tombstones_file, tombstones_digest=tombstones_digest,
+        family_file=sharded.family_file, family_digest=sharded.family_digest,
     )

@@ -60,3 +60,14 @@ class DataFormatError(DatasetError):
 
 class SpillFormatError(DatasetError):
     """Raised when an on-disk shard spill directory is missing files or inconsistent."""
+
+
+class IntegrityError(DatasetError):
+    """Raised when an artifact's durability invariants cannot be restored.
+
+    :func:`repro.core.integrity.repair_spill` raises this when there is no
+    committed manifest to roll back to — the one situation rollback repair
+    cannot handle (the artifact must be rebuilt).  Detected-but-repairable
+    damage is *reported* (via :class:`repro.core.integrity.IntegrityReport`),
+    not raised.
+    """

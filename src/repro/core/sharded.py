@@ -29,7 +29,7 @@ from __future__ import annotations
 import hashlib
 import json
 import shutil
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -45,7 +45,16 @@ from repro.core.hashing import (
     load_family,
     save_family,
 )
+from repro.core.integrity import (
+    DIGEST_ALGORITHM,
+    MANIFEST_NAME,
+    SHARD_ARRAY_NAMES,
+    AtomicCommit,
+    file_digest,
+    sweep_stale_staging,
+)
 from repro.utils.bits import pack_bytes_to_words, unpack_words_to_bytes
+from repro.utils.faultpoints import faultpoint
 from repro.utils.rng import RngLike
 from repro.utils.validation import require, require_positive
 
@@ -60,7 +69,7 @@ __all__ = [
     "fixed_resident_bytes",
     "working_budget",
     "plan_shard_ranges",
-    "write_spill_manifest",
+    "build_spill_manifest",
     "ShardInfo",
     "ShardedCollection",
     "ShardedCollectionBuilder",
@@ -77,18 +86,27 @@ SHARD_BUDGET_DIVISOR = 10
 #: below this not even a singleton shard's build tables fit.
 MIN_WORKING_BUDGET = 4096
 
-MANIFEST_NAME = "manifest.json"
 #: Serialised hash family (``.npz``), written next to the manifest so a
 #: serving process can answer membership / decode queries without the build
-#: process's in-memory family.  Optional for pure pair counting.
+#: process's in-memory family.  Optional for pure pair counting.  Version-3
+#: mutations that replace the family write generational names
+#: (``family_{gen:04d}.npz``) recorded in the manifest's ``family`` entry;
+#: this canonical name is the fresh-build default and the v1/v2 location.
 FAMILY_NAME = "family.npz"
 #: Sorted physical set ids deleted from the collection (``int64``); absent
 #: or empty means no deletes.  Consulted by every read path before results
-#: surface, and purged physically by compaction.
+#: surface, and purged physically by compaction.  Version-3 deletes write
+#: generational names (``tombstones_{gen:04d}.npy``) recorded in the
+#: manifest's ``tombstones`` entry — a live tombstone file is never
+#: overwritten in place; this canonical name is the v1/v2 location.
 TOMBSTONES_NAME = "tombstones.npy"
 #: Current write version plus every older version readers still accept.
-_SPILL_VERSION = 2
-SUPPORTED_SPILL_VERSIONS = (1, 2)
+#: Version 3 adds the durability metadata: per-file content digests
+#: (``checksums`` / per-shard ``files`` / ``tombstones`` / ``family``
+#: manifest entries) and the atomic-commit discipline of
+#: :mod:`repro.core.integrity`.
+_SPILL_VERSION = 3
+SUPPORTED_SPILL_VERSIONS = (1, 2, 3)
 
 
 def fixed_resident_bytes(universe_size: int, n_sets: int,
@@ -195,6 +213,10 @@ class ShardInfo:
     order: np.ndarray       #: sorted slot -> local set index (lo-relative)
     failed: np.ndarray      #: (k, 2) [element, local set index] failed insertions
     kind: str = "base"      #: "base" (original/compacted) or "delta" (appended)
+    #: filename -> content digest of the shard's arrays (manifest v3);
+    #: ``None`` for shards attached from a v1/v2 spill — computed once when
+    #: the next mutation commits at version 3.
+    file_digests: dict | None = field(default=None, repr=False)
 
     @property
     def n_sets(self) -> int:
@@ -207,8 +229,41 @@ class ShardInfo:
         return self.order + self.lo
 
 
-def write_spill_manifest(
-    spill_dir: Path,
+def _load_shard_array(shard_index: int, path: Path, *,
+                      mmap_mode: str | None = None) -> np.ndarray:
+    """Load one shard array, wrapping any failure in ``SpillFormatError``.
+
+    ``np.load`` on a missing, truncated or bit-flipped-header file raises a
+    grab-bag of ``OSError`` / ``ValueError`` / ``EOFError``; read paths
+    must surface them as the format error they are, naming the shard and
+    the file.
+    """
+    try:
+        return np.load(path, mmap_mode=mmap_mode, allow_pickle=False)
+    except Exception as exc:
+        raise SpillFormatError(
+            f"shard {shard_index}: cannot load {path} "
+            f"({type(exc).__name__}: {exc}) — the artifact is damaged or "
+            "incomplete; run 'repro verify'") from exc
+
+
+def shard_digests(shard: ShardInfo) -> dict:
+    """The shard's per-file digest table, computing it on first need.
+
+    Freshly staged shards carry their digests from write time; shards
+    attached from a v1/v2 spill have none recorded and pay a one-time hash
+    of their (unchanged, live) files when the first version-3 mutation
+    commits.
+    """
+    if shard.file_digests is None:
+        shard.file_digests = {
+            name: file_digest(shard.directory / name)
+            for name in SHARD_ARRAY_NAMES
+        }
+    return shard.file_digests
+
+
+def build_spill_manifest(
     *,
     universe_size: int,
     r0: int,
@@ -216,22 +271,29 @@ def write_spill_manifest(
     shards: list,
     generation: int,
     family_kind: str,
-    n_tombstones: int = 0,
-) -> None:
-    """Write ``manifest.json`` (version :data:`_SPILL_VERSION`) for a spill.
+    tombstones: dict | None = None,
+    family: dict | None = None,
+) -> dict:
+    """The version-:data:`_SPILL_VERSION` manifest document for a spill.
 
-    The single writer shared by finalize / append / delete / compact, so
-    every mutation stamps the same schema (and a fresh ``generation``).
+    The single schema shared by finalize / append / delete / compact; every
+    mutation builds its manifest here and publishes it through
+    :class:`~repro.core.integrity.AtomicCommit` (the ``os.replace`` of this
+    document *is* the commit point).  ``tombstones`` / ``family`` are the
+    v3 file entries (``{"file", "digest", ...}``) or ``None``.
     """
-    manifest = {
+    return {
         "version": _SPILL_VERSION,
         "generation": int(generation),
         "universe_size": int(universe_size),
         "n_sets": int(shards[-1].hi) if shards else 0,
-        "n_tombstones": int(n_tombstones),
+        "n_tombstones": int(tombstones["n"]) if tombstones else 0,
         "r0": int(r0),
         "payload_bits": int(payload_bits),
         "family_kind": family_kind,
+        "checksums": DIGEST_ALGORITHM,
+        "tombstones": tombstones,
+        "family": family,
         "shards": [
             {
                 "dir": shard.directory.name,
@@ -240,11 +302,11 @@ def write_spill_manifest(
                 "nbytes": shard.nbytes,
                 "build_backend": shard.build_backend,
                 "kind": shard.kind,
+                "files": shard_digests(shard),
             }
             for shard in shards
         ],
     }
-    (Path(spill_dir) / MANIFEST_NAME).write_text(json.dumps(manifest, indent=1))
 
 
 def reinterleave_shard_words(
@@ -358,8 +420,16 @@ class ShardedCollectionBuilder:
         self.memory_budget = memory_budget
         self.shards: list[ShardInfo] = []
         self.generation = 0
+        #: v3 file entries carried from the attached collection (``None``
+        #: until the first commit records them).
+        self.tombstones_file: str | None = None
+        self.tombstones_digest: str | None = None
+        self.family_file: str | None = None
+        self.family_digest: str | None = None
+        self._family_dirty = True  # fresh builders always spill their family
         self._next_lo = 0
         self._finalized = False
+        self._commit: AtomicCommit | None = None
 
     @classmethod
     def for_append(
@@ -395,6 +465,11 @@ class ShardedCollectionBuilder:
         )
         builder.shards = list(sharded.shards)
         builder.generation = sharded.generation
+        builder.tombstones_file = sharded.tombstones_file
+        builder.tombstones_digest = sharded.tombstones_digest
+        builder.family_file = sharded.family_file
+        builder.family_digest = sharded.family_digest
+        builder._family_dirty = False  # unchanged unless the universe grows
         builder._next_lo = sharded.n_physical_sets
         return builder
 
@@ -416,17 +491,42 @@ class ShardedCollectionBuilder:
             return "host"
         return self.build_compute
 
-    def _fresh_shard_dir(self) -> Path:
-        """Next unused ``shard_NNNN`` directory (append skips taken names)."""
+    def _ensure_commit(self) -> AtomicCommit:
+        """The pending :class:`AtomicCommit` this builder stages files into."""
+        if self._commit is None:
+            self._commit = AtomicCommit(self.spill_dir)
+        return self._commit
+
+    def _fresh_shard_name(self) -> str:
+        """Next unused ``shard_NNNN`` name (skips live *and* staged names)."""
+        commit = self._ensure_commit()
         index = len(self.shards)
-        while (self.spill_dir / f"shard_{index:04d}").exists():
+        while commit.taken(f"shard_{index:04d}"):
             index += 1
-        return self.spill_dir / f"shard_{index:04d}"
+        return f"shard_{index:04d}"
+
+    @staticmethod
+    def _write_shard_arrays(staged_dir: Path, arrays: dict) -> dict:
+        """Write a shard's five arrays into ``staged_dir``; return digests."""
+        staged_dir.mkdir()
+        digests = {}
+        for name in SHARD_ARRAY_NAMES:
+            np.save(staged_dir / name, arrays[name[:-len(".npy")]])
+            digests[name] = file_digest(staged_dir / name)
+        return digests
 
     def add_shard(self, sets, *, kind: str = "base") -> ShardInfo:
-        """Build, spill and release one shard of sets (next global range)."""
+        """Build one shard of sets (next global range) and stage its spill.
+
+        The shard's arrays land in the builder's pending
+        :class:`AtomicCommit` staging directory — nothing touches the live
+        spill until :meth:`finalize` / :meth:`append` commits, so a crash
+        mid-build (or mid-append) leaves any previously committed
+        generation intact.
+        """
         require(not self._finalized, "builder is already finalized")
         require(len(sets) > 0, "cannot add an empty shard")
+        faultpoint("append.shard")
         collection = BatmapCollection.build(
             sets,
             self.universe_size,
@@ -438,12 +538,8 @@ class ShardedCollectionBuilder:
         )
         words, offsets, widths = _spill_buffer_words(collection, self.r0)
         index = len(self.shards)
-        shard_dir = self._fresh_shard_dir()
-        shard_dir.mkdir(exist_ok=True)
-        np.save(shard_dir / "words.npy", words)
-        np.save(shard_dir / "offsets.npy", offsets)
-        np.save(shard_dir / "widths.npy", widths)
-        np.save(shard_dir / "order.npy", collection.order)
+        name = self._fresh_shard_name()
+        commit = self._ensure_commit()
         failed_pairs = [
             (element, local)
             for element, locals_ in collection.failed_insertions().items()
@@ -451,18 +547,22 @@ class ShardedCollectionBuilder:
         ]
         failed = (np.array(sorted(failed_pairs), dtype=np.int64).reshape(-1, 2)
                   if failed_pairs else np.zeros((0, 2), dtype=np.int64))
-        np.save(shard_dir / "failed.npy", failed)
+        digests = self._write_shard_arrays(commit.stage(name), {
+            "words": words, "offsets": offsets, "widths": widths,
+            "order": collection.order, "failed": failed,
+        })
         info = ShardInfo(
             index=index,
             lo=self._next_lo,
             hi=self._next_lo + len(sets),
-            directory=shard_dir,
+            directory=self.spill_dir / name,
             nbytes=int(words.nbytes),
             build_backend=(collection.build_plan.backend
                            if collection.build_plan else "host"),
             order=collection.order,
             failed=failed,
             kind=kind,
+            file_digests=digests,
         )
         self.shards.append(info)
         self._next_lo = info.hi
@@ -474,10 +574,78 @@ class ShardedCollectionBuilder:
                 else "eager")
 
     def _load_tombstones(self) -> np.ndarray:
-        path = self.spill_dir / TOMBSTONES_NAME
-        if path.exists():
-            return np.asarray(np.load(path), dtype=np.int64)
-        return np.zeros(0, dtype=np.int64)
+        if self.tombstones_file is None:
+            return np.zeros(0, dtype=np.int64)
+        return np.asarray(np.load(self.spill_dir / self.tombstones_file),
+                          dtype=np.int64)
+
+    def _tombstones_entry(self, tombstones: np.ndarray) -> dict | None:
+        """The carried-forward manifest ``tombstones`` entry (or ``None``)."""
+        if self.tombstones_file is None:
+            return None
+        if self.tombstones_digest is None:
+            self.tombstones_digest = file_digest(
+                self.spill_dir / self.tombstones_file)
+        return {"file": self.tombstones_file,
+                "digest": self.tombstones_digest,
+                "n": int(tombstones.size)}
+
+    def _stage_family(self, commit: AtomicCommit) -> dict:
+        """Stage (or carry) the family file; return its manifest entry.
+
+        A changed family (universe growth) or a family never spilled is
+        written under a fresh name and the superseded file becomes garbage;
+        an unchanged family keeps its live file — only its digest may need
+        a one-time computation (v1/v2 upgrade).
+        """
+        if self.family_file is None:
+            self._family_dirty = True
+        if self._family_dirty:
+            if self.family_file is None and not commit.taken(FAMILY_NAME):
+                name = FAMILY_NAME
+            else:
+                name = f"family_{self.generation:04d}.npz"
+            staged = commit.stage(name)
+            save_family(staged, self.family)
+            if self.family_file is not None and self.family_file != name:
+                commit.add_garbage(self.spill_dir / self.family_file)
+            self.family_file = name
+            self.family_digest = file_digest(staged)
+            self._family_dirty = False
+        elif self.family_digest is None:
+            self.family_digest = file_digest(self.spill_dir / self.family_file)
+        return {"file": self.family_file, "digest": self.family_digest}
+
+    def _reinterleave_shards(self, commit: AtomicCommit, new_r0: int) -> None:
+        """Re-stage every existing shard at granularity ``new_r0``.
+
+        v3 discipline forbids the old in-place ``words.npy`` rewrite (a
+        crash mid-write would corrupt the live generation), so each shard
+        is copied into a fresh ``rewrite_{gen:04d}_{k:04d}`` directory with
+        its words re-interleaved; the old directory becomes post-commit
+        garbage.
+        """
+        from dataclasses import replace
+
+        generation = self.generation + 1
+        rewritten = []
+        for k, shard in enumerate(self.shards):
+            faultpoint("append.reinterleave")
+            words = np.load(shard.directory / "words.npy")
+            offsets = np.load(shard.directory / "offsets.npy")
+            widths = np.load(shard.directory / "widths.npy")
+            name = f"rewrite_{generation:04d}_{k:04d}"
+            digests = self._write_shard_arrays(commit.stage(name), {
+                "words": reinterleave_shard_words(
+                    words, offsets, widths, self.r0, new_r0),
+                "offsets": offsets, "widths": widths,
+                "order": shard.order, "failed": shard.failed,
+            })
+            commit.add_garbage(shard.directory)
+            rewritten.append(replace(
+                shard, directory=self.spill_dir / name, file_digests=digests))
+        self.shards = rewritten
+        self.r0 = new_r0
 
     def append(self, sets, *, universe_size: int | None = None) -> "ShardedCollection":
         """Bulk-build ``sets`` into delta shards and publish the next generation.
@@ -496,10 +664,24 @@ class ShardedCollectionBuilder:
           minimum (:func:`reinterleave_shard_words`; a byte permutation,
           counts unchanged).
 
-        Returns the re-attached collection at ``generation + 1``.
+        All new files are staged and published by one
+        :class:`~repro.core.integrity.AtomicCommit`: a crash (or injected
+        fault) at any point leaves the previous generation attachable and
+        bit-identical.  Returns the re-attached collection at
+        ``generation + 1``.
         """
         require(not self._finalized, "builder is already finalized")
         require(len(sets) > 0, "cannot append zero sets")
+        commit = self._ensure_commit()
+        try:
+            return self._append_staged(commit, sets, universe_size)
+        except BaseException:
+            self._commit = None
+            commit.abort()
+            raise
+
+    def _append_staged(self, commit: AtomicCommit, sets,
+                       universe_size: int | None) -> "ShardedCollection":
         dedup = [_dedup_sorted(s) for s in sets]
         needed = max((int(d[-1]) + 1 for d in dedup if d.size), default=0)
         target = max(self.universe_size, needed, universe_size or 0)
@@ -513,6 +695,7 @@ class ShardedCollectionBuilder:
                     "(build-index --family lazy)")
             self.family = self.family.grow(target)
             self.universe_size = target
+            self._family_dirty = True
 
         sizes = np.array([d.size for d in dedup], dtype=np.int64)
         range_universe = self.family.range_universe
@@ -520,14 +703,7 @@ class ShardedCollectionBuilder:
             max(4, self.config.range_for_size(int(size), range_universe))
             for size in sizes.tolist()))
         if r_new < self.r0:
-            for shard in self.shards:
-                words = np.load(shard.directory / "words.npy")
-                offsets = np.load(shard.directory / "offsets.npy")
-                widths = np.load(shard.directory / "widths.npy")
-                np.save(shard.directory / "words.npy",
-                        reinterleave_shard_words(words, offsets, widths,
-                                                 self.r0, r_new))
-            self.r0 = r_new
+            self._reinterleave_shards(commit, r_new)
 
         if self.memory_budget is not None:
             packed = set_packed_bytes(sizes, range_universe, self.config)
@@ -540,33 +716,50 @@ class ShardedCollectionBuilder:
         self.generation += 1
         self._finalized = True
         tombstones = self._load_tombstones()
-        write_spill_manifest(
-            self.spill_dir, universe_size=self.universe_size, r0=self.r0,
+        manifest = build_spill_manifest(
+            universe_size=self.universe_size, r0=self.r0,
             payload_bits=self.config.payload_bits, shards=self.shards,
             generation=self.generation, family_kind=self._family_kind,
-            n_tombstones=int(tombstones.size),
+            tombstones=self._tombstones_entry(tombstones),
+            family=self._stage_family(commit),
         )
-        save_family(self.spill_dir / FAMILY_NAME, self.family)
+        commit.commit(manifest)
+        self._commit = None
         return ShardedCollection(self.spill_dir, self.universe_size, self.r0,
                                  self.shards, family=self.family,
                                  payload_bits=self.config.payload_bits,
                                  generation=self.generation,
-                                 tombstones=tombstones)
+                                 tombstones=tombstones,
+                                 tombstones_file=self.tombstones_file,
+                                 tombstones_digest=self.tombstones_digest,
+                                 family_file=self.family_file,
+                                 family_digest=self.family_digest)
 
     def finalize(self) -> "ShardedCollection":
-        """Write the manifest and return the attached collection."""
+        """Atomically commit the staged shards + manifest; return the collection."""
         require(self.shards, "cannot finalize a sharded collection with no shards")
         self._finalized = True
-        write_spill_manifest(
-            self.spill_dir, universe_size=self.universe_size, r0=self.r0,
-            payload_bits=self.config.payload_bits, shards=self.shards,
-            generation=self.generation, family_kind=self._family_kind,
-        )
-        save_family(self.spill_dir / FAMILY_NAME, self.family)
+        commit = self._ensure_commit()
+        try:
+            manifest = build_spill_manifest(
+                universe_size=self.universe_size, r0=self.r0,
+                payload_bits=self.config.payload_bits, shards=self.shards,
+                generation=self.generation, family_kind=self._family_kind,
+                tombstones=None,
+                family=self._stage_family(commit),
+            )
+            commit.commit(manifest)
+        except BaseException:
+            self._commit = None
+            commit.abort()
+            raise
+        self._commit = None
         return ShardedCollection(self.spill_dir, self.universe_size, self.r0,
                                  self.shards, family=self.family,
                                  payload_bits=self.config.payload_bits,
-                                 generation=self.generation)
+                                 generation=self.generation,
+                                 family_file=self.family_file,
+                                 family_digest=self.family_digest)
 
 
 class ShardedCollection:
@@ -584,7 +777,11 @@ class ShardedCollection:
                  shards: list, *, family: HashFamily | None = None,
                  payload_bits: int = DEFAULT_CONFIG.payload_bits,
                  generation: int = 0,
-                 tombstones: np.ndarray | None = None) -> None:
+                 tombstones: np.ndarray | None = None,
+                 tombstones_file: str | None = None,
+                 tombstones_digest: str | None = None,
+                 family_file: str | None = None,
+                 family_digest: str | None = None) -> None:
         """Wrap already-spilled shards; use :meth:`build` or :meth:`from_spill`."""
         self.spill_dir = Path(spill_dir)
         self.universe_size = universe_size
@@ -594,6 +791,13 @@ class ShardedCollection:
         self.generation = int(generation)
         self.tombstones = (np.zeros(0, dtype=np.int64) if tombstones is None
                            else np.asarray(tombstones, dtype=np.int64))
+        #: Manifest v3 file entries (name + content digest) of the tombstone
+        #: and family files; ``None`` digests mean a v1/v2 artifact that has
+        #: not yet paid its upgrade hash.
+        self.tombstones_file = tombstones_file
+        self.tombstones_digest = tombstones_digest
+        self.family_file = family_file
+        self.family_digest = family_digest
         self._family = family
         self._live_ids: np.ndarray | None = None
         self._live_positions: np.ndarray | None = None
@@ -672,13 +876,20 @@ class ShardedCollection:
     def from_spill(cls, spill_dir: str | Path) -> "ShardedCollection":
         """Re-attach a previously spilled collection from its manifest.
 
-        Negotiates the spill version: the current version 2 (generation,
-        tombstones, shard kinds) and the pre-incremental version 1 (implied
-        generation 0, no tombstones) both attach; anything else — or a
-        manifest that is not valid JSON / is missing required fields —
-        raises :class:`~repro.core.errors.SpillFormatError`.
+        Negotiates the spill version: the current version 3 (atomic commits
+        + checksums), version 2 (generation, tombstones, shard kinds) and
+        the pre-incremental version 1 (implied generation 0, no tombstones)
+        all attach; anything else — or a manifest that is not valid JSON /
+        is missing required fields — raises
+        :class:`~repro.core.errors.SpillFormatError`.  Reads stay mmap'd
+        and checksums are *not* verified here (that is ``repro verify``'s
+        job), but manifest/file cross-checks that would otherwise cause
+        silently wrong results (a missing or wrong-sized tombstone file)
+        are enforced.  Staging leftovers of dead mutator processes are
+        swept on the way in.
         """
         spill_dir = Path(spill_dir)
+        sweep_stale_staging(spill_dir)
         manifest_path = spill_dir / MANIFEST_NAME
         if not manifest_path.exists():
             raise SpillFormatError(f"no {MANIFEST_NAME} in {spill_dir}")
@@ -696,36 +907,98 @@ class ShardedCollection:
                 f"(supported: {', '.join(map(str, SUPPORTED_SPILL_VERSIONS))})")
         try:
             shards = []
+            covered = 0
             for k, entry in enumerate(manifest["shards"]):
                 directory = spill_dir / entry["dir"]
-                try:
-                    order = np.load(directory / "order.npy")
-                    failed = np.load(directory / "failed.npy")
-                except FileNotFoundError as exc:
+                lo, hi = int(entry["lo"]), int(entry["hi"])
+                if lo != covered or hi < lo:
                     raise SpillFormatError(
-                        f"shard spill {directory} is incomplete") from exc
+                        f"{manifest_path}: shard {k} covers [{lo}, {hi}) but "
+                        f"the table reaches {covered} — attaching would "
+                        "misnumber sets; run 'repro verify'")
+                covered = hi
+                order = _load_shard_array(k, directory / "order.npy")
+                failed = _load_shard_array(k, directory / "failed.npy")
+                if order.shape != (hi - lo,):
+                    raise SpillFormatError(
+                        f"{directory / 'order.npy'} holds {order.shape} "
+                        f"entries for a shard of {hi - lo} sets — the "
+                        "artifact is damaged; run 'repro verify'")
                 shards.append(ShardInfo(
-                    index=k, lo=int(entry["lo"]), hi=int(entry["hi"]),
+                    index=k, lo=lo, hi=hi,
                     directory=directory, nbytes=int(entry["nbytes"]),
                     build_backend=entry["build_backend"], order=order,
                     failed=failed, kind=entry.get("kind", "base"),
+                    file_digests=entry.get("files"),
                 ))
+            declared_sets = manifest.get("n_sets")
+            if declared_sets is not None and int(declared_sets) != covered:
+                raise SpillFormatError(
+                    f"{manifest_path}: manifest records {declared_sets} sets "
+                    f"but the shard table covers {covered} — the artifact is "
+                    "damaged; run 'repro verify'")
             universe_size = int(manifest["universe_size"])
             r0 = int(manifest["r0"])
+            tombstones_entry = manifest.get("tombstones") if version == 3 else None
+            if version == 3:
+                tombstones_file = (tombstones_entry["file"]
+                                   if tombstones_entry else None)
+                tombstones_digest = (tombstones_entry["digest"]
+                                     if tombstones_entry else None)
+                declared = int(tombstones_entry["n"]) if tombstones_entry else 0
+            else:
+                tombstones_file = (TOMBSTONES_NAME
+                                   if (spill_dir / TOMBSTONES_NAME).exists()
+                                   else None)
+                tombstones_digest = None
+                declared = manifest.get("n_tombstones")
+                if declared is not None:
+                    declared = int(declared)
+            family_entry = manifest.get("family") if version == 3 else None
+            if version == 3:
+                family_file = family_entry["file"] if family_entry else None
+                family_digest = family_entry["digest"] if family_entry else None
+            else:
+                family_file = (FAMILY_NAME
+                               if (spill_dir / FAMILY_NAME).exists() else None)
+                family_digest = None
         except (KeyError, TypeError, ValueError) as exc:
             if isinstance(exc, SpillFormatError):
                 raise
             raise SpillFormatError(
                 f"{manifest_path} is corrupt: {exc!r}") from exc
-        tombstones_path = spill_dir / TOMBSTONES_NAME
-        tombstones = (np.asarray(np.load(tombstones_path), dtype=np.int64)
-                      if tombstones_path.exists()
-                      else np.zeros(0, dtype=np.int64))
+        if tombstones_file is not None:
+            tombstones_path = spill_dir / tombstones_file
+            if not tombstones_path.exists():
+                raise SpillFormatError(
+                    f"{spill_dir}: manifest references tombstone file "
+                    f"{tombstones_file} which is missing — serving this "
+                    "artifact would resurrect deleted sets; run "
+                    "'repro verify' / rebuild")
+            try:
+                tombstones = np.asarray(
+                    np.load(tombstones_path, allow_pickle=False),
+                    dtype=np.int64)
+            except Exception as exc:
+                raise SpillFormatError(
+                    f"{tombstones_path} is unreadable "
+                    f"({type(exc).__name__}: {exc})") from exc
+        else:
+            tombstones = np.zeros(0, dtype=np.int64)
+        if declared is not None and declared != int(tombstones.size):
+            raise SpillFormatError(
+                f"{spill_dir}: manifest records {declared} tombstone(s) but "
+                f"{tombstones.size} are on disk — the artifact is damaged; "
+                "run 'repro verify'")
         return cls(spill_dir, universe_size, r0, shards,
                    payload_bits=int(manifest.get(
                        "payload_bits", DEFAULT_CONFIG.payload_bits)),
                    generation=int(manifest.get("generation", 0)),
-                   tombstones=tombstones)
+                   tombstones=tombstones,
+                   tombstones_file=tombstones_file,
+                   tombstones_digest=tombstones_digest,
+                   family_file=family_file,
+                   family_digest=family_digest)
 
     # ------------------------------------------------------------------ #
     # Access
@@ -823,6 +1096,10 @@ class ShardedCollection:
         self.universe_size = updated.universe_size
         self.r0 = updated.r0
         self.generation = updated.generation
+        self.tombstones_file = updated.tombstones_file
+        self.tombstones_digest = updated.tombstones_digest
+        self.family_file = updated.family_file
+        self.family_digest = updated.family_digest
         self._family = updated._family
         self._invalidate()
         return self
@@ -832,7 +1109,12 @@ class ShardedCollection:
 
         Deletes are metadata-only: the rows stay on disk until compaction
         purges them, but every read path consults the tombstone set first.
-        Returns the new generation.
+        The new tombstone array is staged under a generational name and
+        published with the manifest in one atomic commit — the live
+        tombstone file is never overwritten, so a crash at any point leaves
+        either the pre- or the post-delete generation intact.  In-memory
+        state mutates only after the commit point.  Returns the new
+        generation.
         """
         ids = np.unique(np.asarray(set_ids, dtype=np.int64))
         require(ids.size > 0, "delete requires at least one set id")
@@ -840,12 +1122,43 @@ class ShardedCollection:
                 f"set ids must be in [0, {self.n_sets}), got "
                 f"[{int(ids[0])}, {int(ids[-1])}]")
         physical = self.live_ids[ids]
-        self.tombstones = np.union1d(self.tombstones, physical)
-        np.save(self.spill_dir / TOMBSTONES_NAME, self.tombstones)
-        self.generation += 1
+        new_tombstones = np.union1d(self.tombstones, physical)
+        generation = self.generation + 1
+        commit = AtomicCommit(self.spill_dir)
+        try:
+            faultpoint("delete.tombstones")
+            name = f"tombstones_{generation:04d}.npy"
+            staged = commit.stage(name)
+            np.save(staged, new_tombstones)
+            digest = file_digest(staged)
+            if self.tombstones_file is not None:
+                commit.add_garbage(self.spill_dir / self.tombstones_file)
+            manifest = build_spill_manifest(
+                universe_size=self.universe_size, r0=self.r0,
+                payload_bits=self.payload_bits, shards=self.shards,
+                generation=generation, family_kind=self.family_kind,
+                tombstones={"file": name, "digest": digest,
+                            "n": int(new_tombstones.size)},
+                family=self._family_entry(),
+            )
+            commit.commit(manifest)
+        except BaseException:
+            commit.abort()
+            raise
+        self.tombstones = new_tombstones
+        self.tombstones_file = name
+        self.tombstones_digest = digest
+        self.generation = generation
         self._invalidate()
-        self._rewrite_manifest()
         return self.generation
+
+    def _family_entry(self) -> dict | None:
+        """Carried-forward manifest ``family`` entry for a non-append commit."""
+        if self.family_file is None:
+            return None
+        if self.family_digest is None:
+            self.family_digest = file_digest(self.spill_dir / self.family_file)
+        return {"file": self.family_file, "digest": self.family_digest}
 
     def compact(self, *, memory_budget: int | None = None,
                 full: bool = False) -> "ShardedCollection":
@@ -862,22 +1175,17 @@ class ShardedCollection:
             self.shards = updated.shards
             self.generation = updated.generation
             self.tombstones = updated.tombstones
+            self.tombstones_file = updated.tombstones_file
+            self.tombstones_digest = updated.tombstones_digest
+            self.family_file = updated.family_file
+            self.family_digest = updated.family_digest
             self._invalidate()
         return self
-
-    def _rewrite_manifest(self) -> None:
-        """Re-stamp the manifest from this object's current state."""
-        write_spill_manifest(
-            self.spill_dir, universe_size=self.universe_size, r0=self.r0,
-            payload_bits=self.payload_bits, shards=self.shards,
-            generation=self.generation, family_kind=self.family_kind,
-            n_tombstones=int(self.tombstones.size),
-        )
 
     @property
     def family_kind(self) -> str:
         """``"lazy"`` for an extensible family, ``"eager"`` otherwise."""
-        if self._family is None and not (self.spill_dir / FAMILY_NAME).exists():
+        if self._family is None and self.family_file is None:
             return "eager"
         return ("lazy" if isinstance(self.family, ExtensibleHashFamily)
                 else "eager")
@@ -899,8 +1207,14 @@ class ShardedCollection:
         build-index`` to add it.
         """
         if self._family is None:
-            family_path = self.spill_dir / FAMILY_NAME
+            name = self.family_file or FAMILY_NAME
+            family_path = self.spill_dir / name
             if not family_path.exists():
+                if self.family_file is not None:
+                    raise SpillFormatError(
+                        f"family file {name} referenced by the manifest of "
+                        f"{self.spill_dir} is missing — the artifact is "
+                        "damaged; run 'repro verify', or rebuild")
                 raise SpillFormatError(
                     f"no {FAMILY_NAME} in {self.spill_dir}: this spill predates "
                     "hash-family persistence and cannot serve membership or "
@@ -923,13 +1237,10 @@ class ShardedCollection:
         lifetime: dropping the index releases the mapping.
         """
         shard = self.shards[shard_index]
-        try:
-            words = np.load(shard.directory / "words.npy", mmap_mode="r")
-            offsets = np.load(shard.directory / "offsets.npy")
-            widths = np.load(shard.directory / "widths.npy")
-        except FileNotFoundError as exc:
-            raise SpillFormatError(
-                f"shard spill {shard.directory} is incomplete") from exc
+        words = _load_shard_array(shard_index, shard.directory / "words.npy",
+                                  mmap_mode="r")
+        offsets = _load_shard_array(shard_index, shard.directory / "offsets.npy")
+        widths = _load_shard_array(shard_index, shard.directory / "widths.npy")
         kwargs = {} if block_words is None else {"block_words": block_words}
         return WidthClassIndex(words, offsets, widths, **kwargs)
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import socket
+import time
 
 from repro.serve.protocol import encode_message
 
@@ -32,20 +33,82 @@ class ServeClient:
     Requests are issued one at a time per client (send, then block for the
     response); concurrency is modelled with one client per thread, which is
     exactly how the latency benchmark drives the server.
+
+    A dropped connection (server restart, reset mid-flight) is retried
+    transparently: the client reconnects and resends the request up to
+    ``retries`` times with exponential backoff.  Every protocol operation
+    is idempotent — queries are pure reads and ``reload`` converges on the
+    directory's committed generation — so resending a possibly-executed
+    request is safe.
     """
 
-    def __init__(self, host: str, port: int, *, timeout: float = 60.0) -> None:
-        """Connect to ``host:port``; ``timeout`` bounds every socket wait."""
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+    def __init__(self, host: str, port: int, *, timeout: float = 60.0,
+                 retries: int = 2, backoff: float = 0.05) -> None:
+        """Connect to ``host:port``; ``timeout`` bounds every socket wait.
+
+        ``retries`` is the number of reconnect attempts after a connection
+        failure (0 disables retrying); ``backoff`` is the first retry delay
+        in seconds, doubling per attempt.
+        """
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._retries = max(0, int(retries))
+        self._backoff = backoff
+        self._sock = None
+        self._file = None
         self._next_id = 0
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def _disconnect(self) -> None:
+        try:
+            if self._file is not None:
+                self._file.close()
+        except OSError:
+            pass
+        finally:
+            self._file = None
+        try:
+            if self._sock is not None:
+                self._sock.close()
+        except OSError:
+            pass
+        finally:
+            self._sock = None
 
     # ------------------------------------------------------------------ #
     def request(self, op: str, **params):
         """Send one request and return its ``result`` (or raise ServeError)."""
         self._next_id += 1
         request_id = self._next_id
-        self._file.write(encode_message({"id": request_id, "op": op, **params}))
+        line = encode_message({"id": request_id, "op": op, **params})
+        last_error = None
+        for attempt in range(self._retries + 1):
+            if attempt:
+                self._disconnect()
+                time.sleep(self._backoff * (2 ** (attempt - 1)))
+                try:
+                    self._connect()
+                except OSError as exc:
+                    last_error = exc
+                    continue
+            try:
+                return self._roundtrip(line, request_id)
+            except (ConnectionError, OSError) as exc:
+                last_error = exc
+        raise ConnectionError(
+            f"request failed after {self._retries + 1} attempts: "
+            f"{last_error}") from last_error
+
+    def _roundtrip(self, line: bytes, request_id: int):
+        if self._file is None:
+            self._connect()
+        self._file.write(line)
         self._file.flush()
         raw = self._file.readline()
         if not raw:
@@ -99,10 +162,7 @@ class ServeClient:
     # ------------------------------------------------------------------ #
     def close(self) -> None:
         """Close the connection (idempotent)."""
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._disconnect()
 
     def __enter__(self) -> "ServeClient":
         return self

@@ -84,6 +84,7 @@ ERROR_CODES = (
     "timeout",       # per-request deadline expired before the batch ran
     "overloaded",    # bounded request queue is full (backpressure)
     "shutting-down", # server is draining; retry against a live instance
+    "reload-failed", # reload target damaged/mid-commit; old engine kept serving
     "server-error",  # unexpected failure while executing the query
 )
 

@@ -31,6 +31,7 @@ import threading
 import time
 from pathlib import Path
 
+from repro.core.errors import DatasetError
 from repro.core.sharded import ShardedCollection
 from repro.serve.batcher import QueueFullError, RequestBatcher
 from repro.serve.cache import LRUResultCache, MISS
@@ -148,7 +149,18 @@ class BatmapServer:
         """
         async with self._reload_lock:
             loop = asyncio.get_running_loop()
-            engine = await loop.run_in_executor(None, self._attach_engine)
+            try:
+                engine = await loop.run_in_executor(None, self._attach_engine)
+            except (DatasetError, OSError) as exc:
+                # The artifact on disk is damaged or mid-commit.  The old
+                # engine is untouched and keeps serving; the caller gets a
+                # structured error naming the damage so it can repair (or
+                # wait for the mutator's commit) and retry the reload.
+                raise ProtocolError(
+                    f"reload failed, still serving generation "
+                    f"{self.engine.generation}: {type(exc).__name__}: {exc} "
+                    "— run 'repro verify' / 'repro repair' and retry",
+                    code="reload-failed") from exc
             old = await self.batcher.swap_engine(engine)
             self.engine = engine
             old.close()
@@ -209,22 +221,44 @@ class BatmapServer:
         write_lock = asyncio.Lock()
         local_tasks: set = set()
         loop = asyncio.get_running_loop()
+        # A manual read loop instead of ``reader.readline()``: the stream
+        # limit turns an oversized line into a fatal stream error, but the
+        # connection must *survive* one bad request.  The oversized line is
+        # answered with a structured error and discarded up to its newline;
+        # pipelined requests after it still execute.
+        buffer = bytearray()
+        discarding = False
         try:
             while not self._shutdown_event.is_set():
-                try:
-                    line = await reader.readline()
-                except (ValueError, asyncio.LimitOverrunError):
-                    await self._send(writer, write_lock, error_response(
-                        None, "bad-request",
-                        f"request line exceeds {MAX_LINE_BYTES} bytes"))
+                newline = buffer.find(b"\n")
+                if newline >= 0:
+                    line = bytes(buffer[:newline + 1])
+                    del buffer[:newline + 1]
+                    if discarding:          # tail of an oversized line
+                        discarding = False
+                        continue
+                    if len(line) > MAX_LINE_BYTES:
+                        await self._send_error(
+                            writer, write_lock, None, "bad-request",
+                            f"request line exceeds {MAX_LINE_BYTES} bytes")
+                        continue
+                    request_task = loop.create_task(
+                        self._handle_request(line, writer, write_lock))
+                    for registry in (local_tasks, self._request_tasks):
+                        registry.add(request_task)
+                        request_task.add_done_callback(registry.discard)
+                    continue
+                if not discarding and len(buffer) > MAX_LINE_BYTES:
+                    discarding = True
+                    await self._send_error(
+                        writer, write_lock, None, "bad-request",
+                        f"request line exceeds {MAX_LINE_BYTES} bytes")
+                if discarding:
+                    buffer.clear()
+                chunk = await reader.read(1 << 16)
+                if not chunk:
                     break
-                if not line:
-                    break
-                request_task = loop.create_task(
-                    self._handle_request(line, writer, write_lock))
-                for registry in (local_tasks, self._request_tasks):
-                    registry.add(request_task)
-                    request_task.add_done_callback(registry.discard)
+                buffer += chunk
         except (ConnectionResetError, asyncio.CancelledError):
             pass
         finally:

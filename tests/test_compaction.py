@@ -127,7 +127,9 @@ class TestCompactIntegration:
         sharded.compact(full=True)
         assert sharded.generation == 2
         assert sharded.tombstones.size == 0
-        assert not (tmp_path / "spill" / "tombstones.npy").exists()
+        # A full purge leaves no tombstone file at all — neither the legacy
+        # fixed name nor any v3 generational one.
+        assert not list((tmp_path / "spill").glob("tombstones*.npy"))
         assert sharded.n_sets == 17
         assert sharded.n_physical_sets == 17
         np.testing.assert_array_equal(sharded.count_all_pairs(), live_counts)

@@ -1,0 +1,174 @@
+"""Corruption matrix over the frozen v1/v2 fixtures (and a fresh v3 build).
+
+For every corruption the contract is two-sided:
+
+1. ``repro verify`` flags it — :func:`verify_spill` reports at least one
+   error with the expected code.
+2. Attach never serves silently wrong data — ``from_spill`` plus a full
+   count either raises :class:`~repro.core.errors.SpillFormatError`, or the
+   counts are bit-identical to the frozen expectation (metadata-only damage
+   that cannot corrupt results).
+
+Checksumless v1/v2 artifacts cannot detect damage to array *bodies* — that
+gap is exactly why manifest v3 exists — so the body-flip cell runs against
+a fresh v3 build and asserts the checksum closes it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DatasetError, SpillFormatError
+from repro.core.integrity import verify_spill
+from repro.core.sharded import ShardedCollection
+from repro.parallel.sharded import ShardedPairCounter
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _expected(version: int) -> np.ndarray:
+    """Frozen live-set count matrix of the untouched fixture."""
+    return np.load(FIXTURES / f"spill_v{version}_expected_counts.npy")
+
+
+def _count_all(spill: Path) -> np.ndarray:
+    collection = ShardedCollection.from_spill(spill)
+    for s in range(collection.n_shards):
+        collection.attach(s)
+    return ShardedPairCounter(collection, compute="batch").counts()
+
+
+def _flip_byte(path: Path, offset: int) -> None:
+    with open(path, "r+b") as handle:
+        handle.seek(offset, os.SEEK_END if offset < 0 else os.SEEK_SET)
+        byte = handle.read(1)
+        handle.seek(-1, os.SEEK_CUR)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+def _edit_manifest(spill: Path, mutate) -> None:
+    manifest = json.loads((spill / "manifest.json").read_text())
+    mutate(manifest)
+    (spill / "manifest.json").write_text(json.dumps(manifest))
+
+
+# (cell name, corruption, expected verify error code) — applied to both
+# frozen fixtures.  Every corruption must also fail the attach-or-identical
+# oracle below.
+def _truncate_shard(spill: Path) -> None:
+    words = spill / "shard_0000" / "words.npy"
+    words.write_bytes(words.read_bytes()[: words.stat().st_size // 2])
+
+
+def _flip_header(spill: Path) -> None:
+    _flip_byte(spill / "shard_0000" / "words.npy", 1)  # inside the npy magic
+
+
+def _drop_shard_file(spill: Path) -> None:
+    (spill / "shard_0001" / "offsets.npy").unlink()
+
+
+def _garbage_extents(spill: Path) -> None:
+    def mutate(manifest):
+        manifest["shards"][0]["lo"] = 3
+    _edit_manifest(spill, mutate)
+
+
+def _garbage_n_sets(spill: Path) -> None:
+    _edit_manifest(spill, lambda m: m.update(n_sets=999))
+
+
+CELLS = [
+    ("truncated-shard", _truncate_shard, "shard-file-unreadable"),
+    ("bit-flipped-header", _flip_header, "shard-file-unreadable"),
+    ("missing-shard-file", _drop_shard_file, "shard-file-missing"),
+    ("garbage-shard-extents", _garbage_extents, "manifest-field"),
+    ("garbage-n-sets", _garbage_n_sets, "manifest-field"),
+]
+
+
+@pytest.fixture
+def frozen(request, tmp_path):
+    version = request.param
+    target = tmp_path / f"spill_v{version}"
+    shutil.copytree(FIXTURES / f"spill_v{version}", target)
+    return version, target
+
+
+@pytest.mark.parametrize("frozen", [1, 2], indirect=True)
+@pytest.mark.parametrize("name,corrupt,code", CELLS,
+                         ids=[c[0] for c in CELLS])
+def test_matrix_verify_flags_and_attach_is_never_silently_wrong(
+        frozen, name, corrupt, code):
+    version, spill = frozen
+    corrupt(spill)
+
+    report = verify_spill(spill)
+    assert not report.ok, f"{name}: verify reported clean"
+    assert any(f.code == code for f in report.errors), \
+        f"{name}: expected {code}, got {[f.code for f in report.errors]}"
+
+    try:
+        counts = _count_all(spill)
+    except DatasetError:
+        return  # refusing to attach/serve is always acceptable
+    expected = _expected(version)
+    assert counts.shape == expected.shape
+    np.testing.assert_array_equal(counts, expected)
+
+
+@pytest.mark.parametrize("frozen", [2], indirect=True)
+def test_missing_tombstones_refuses_to_resurrect(frozen):
+    _version, spill = frozen
+    (spill / "tombstones.npy").unlink()
+    report = verify_spill(spill)
+    assert any(f.code == "tombstones-missing" for f in report.errors)
+    with pytest.raises(SpillFormatError, match="tombstone"):
+        ShardedCollection.from_spill(spill)
+
+
+@pytest.mark.parametrize("frozen", [2], indirect=True)
+def test_tombstone_count_mismatch_is_rejected(frozen):
+    _version, spill = frozen
+    np.save(spill / "tombstones.npy", np.array([2], dtype=np.int64))
+    report = verify_spill(spill)
+    assert any(f.code == "tombstones-mismatch" for f in report.errors)
+    with pytest.raises(SpillFormatError, match="tombstone"):
+        ShardedCollection.from_spill(spill)
+
+
+@pytest.mark.parametrize("frozen", [1, 2], indirect=True)
+def test_checksumless_versions_warn_about_the_gap(frozen):
+    _version, spill = frozen
+    report = verify_spill(spill)
+    assert report.ok
+    assert any(f.code == "no-checksums" for f in report.warnings)
+
+
+def test_v3_checksum_catches_a_body_flip(tmp_path):
+    # The cell v1/v2 cannot catch: damage inside an array body, past the
+    # npy header, loads fine and would count wrong.  v3 digests flag it.
+    rng = np.random.default_rng(31)
+    sets = [np.sort(rng.choice(80, size=9, replace=False)) for _ in range(6)]
+    spill = tmp_path / "spill"
+    ShardedCollection.build(sets, 80, spill, memory_budget=40_000, rng=4)
+    manifest = json.loads((spill / "manifest.json").read_text())
+    assert manifest["version"] == 3
+    _flip_byte(spill / manifest["shards"][0]["dir"] / "words.npy", -1)
+    report = verify_spill(spill)
+    assert not report.ok
+    assert any(f.code == "checksum-mismatch" for f in report.errors)
+
+
+def test_frozen_v2_fixture_still_counts_exactly(tmp_path):
+    # Baseline for the matrix: the untouched fixture is healthy.
+    spill = tmp_path / "spill_v2"
+    shutil.copytree(FIXTURES / "spill_v2", spill)
+    assert verify_spill(spill).ok
+    np.testing.assert_array_equal(_count_all(spill), _expected(2))

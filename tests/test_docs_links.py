@@ -27,7 +27,8 @@ def test_intra_repo_markdown_links_resolve():
 
 def test_docs_pages_exist_and_are_linked_from_readme():
     readme = (REPO_ROOT / "README.md").read_text()
-    for page in ("architecture.md", "serving.md", "file-formats.md"):
+    for page in ("architecture.md", "serving.md", "file-formats.md",
+                 "operations.md"):
         assert (REPO_ROOT / "docs" / page).exists()
         assert f"docs/{page}" in readme, f"README does not link docs/{page}"
 

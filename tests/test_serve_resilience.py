@@ -1,0 +1,161 @@
+"""Serving resilience: damaged reloads, hostile connections, client retry.
+
+The server must keep serving through everything short of its own artifact
+vanishing: a ``reload`` that lands on a damaged or mid-commit artifact
+answers a structured ``reload-failed`` error and keeps the old engine; a
+connection that sends garbage (malformed JSON, unknown ops, oversized
+lines) gets structured errors and stays usable; and the synchronous client
+reconnects transparently across server restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import socket
+
+import numpy as np
+import pytest
+
+from repro.core.sharded import ShardedCollection
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import MAX_LINE_BYTES
+from repro.serve.server import BackgroundServer
+from tests.conftest import random_sets
+
+
+@pytest.fixture
+def spill(tmp_path):
+    rng = np.random.default_rng(8)
+    sets = random_sets(rng, 10, 256, min_size=4, max_size=40)
+    ShardedCollection.build(sets, 256, tmp_path / "spill", rng=13,
+                            memory_budget=60_000)
+    return tmp_path / "spill"
+
+
+class TestReloadResilience:
+    def test_reload_on_damaged_artifact_keeps_the_old_engine(self, spill):
+        with BackgroundServer(spill) as bg:
+            with ServeClient(bg.host, bg.port) as client:
+                before = client.count([(0, 1), (2, 3)])
+                manifest = (spill / "manifest.json").read_text()
+                (spill / "manifest.json").write_text("{broken")
+                with pytest.raises(ServeError) as excinfo:
+                    client.reload()
+                assert excinfo.value.code == "reload-failed"
+                assert "still serving generation 0" in excinfo.value.message
+                assert "repro verify" in excinfo.value.message
+                # The old engine still answers, on the same connection.
+                assert client.count([(0, 1), (2, 3)]) == before
+                # Repairing the artifact makes reload succeed again.
+                (spill / "manifest.json").write_text(manifest)
+                assert client.reload()["generation"] == 0
+                assert client.count([(0, 1), (2, 3)]) == before
+
+    def test_reload_on_vanished_artifact_keeps_the_old_engine(self, spill):
+        with BackgroundServer(spill) as bg:
+            with ServeClient(bg.host, bg.port) as client:
+                before = client.stats()
+                shutil.rmtree(spill / "shard_0000")
+                (spill / "manifest.json").unlink()
+                with pytest.raises(ServeError) as excinfo:
+                    client.reload()
+                assert excinfo.value.code == "reload-failed"
+                assert client.stats() == before
+
+
+class TestHostileConnections:
+    def _open(self, bg):
+        sock = socket.create_connection((bg.host, bg.port), timeout=30)
+        return sock, sock.makefile("rwb")
+
+    def test_oversized_line_gets_an_error_and_the_connection_survives(
+            self, spill):
+        with BackgroundServer(spill) as bg:
+            sock, f = self._open(bg)
+            try:
+                padding = "x" * (MAX_LINE_BYTES + 100)
+                f.write(json.dumps({"id": 1, "op": "ping",
+                                    "pad": padding}).encode() + b"\n")
+                f.write(b'{"id": 2, "op": "ping"}\n')
+                f.flush()
+                first = json.loads(f.readline())
+                assert first["ok"] is False
+                assert first["error"]["code"] == "bad-request"
+                assert "exceeds" in first["error"]["message"]
+                second = json.loads(f.readline())
+                assert second == {"id": 2, "ok": True, "result": "pong"}
+            finally:
+                sock.close()
+
+    def test_several_oversized_lines_then_normal_service(self, spill):
+        with BackgroundServer(spill) as bg:
+            sock, f = self._open(bg)
+            try:
+                for _ in range(3):
+                    f.write(b"y" * (MAX_LINE_BYTES + 1) + b"\n")
+                f.write(b'{"id": 9, "op": "ping"}\n')
+                f.flush()
+                responses = [json.loads(f.readline()) for _ in range(4)]
+                assert [r["ok"] for r in responses] == [False] * 3 + [True]
+                assert responses[-1]["id"] == 9
+            finally:
+                sock.close()
+
+    def test_malformed_json_then_unknown_op_then_normal(self, spill):
+        with BackgroundServer(spill) as bg:
+            sock, f = self._open(bg)
+            try:
+                f.write(b"not json at all\n")
+                f.write(b'{"id": 5, "op": "explode"}\n')
+                f.write(b'{"id": 6, "op": "ping"}\n')
+                f.flush()
+                bad = json.loads(f.readline())
+                assert bad["error"]["code"] == "bad-request"
+                unknown = json.loads(f.readline())
+                assert unknown["id"] == 5
+                assert unknown["error"]["code"] == "unknown-op"
+                fine = json.loads(f.readline())
+                assert fine == {"id": 6, "ok": True, "result": "pong"}
+            finally:
+                sock.close()
+
+
+class TestClientRetry:
+    def test_client_survives_a_server_restart(self, spill):
+        bg = BackgroundServer(spill).start()
+        host, port = bg.host, bg.port
+        client = ServeClient(host, port, retries=4, backoff=0.05)
+        try:
+            assert client.ping() == "pong"
+            bg.stop()
+            bg = BackgroundServer(spill, host=host, port=port).start()
+            # The old socket is dead; the retry loop reconnects and resends.
+            assert client.ping() == "pong"
+            assert client.count([(0, 1)]) == client.count([(0, 1)])
+        finally:
+            client.close()
+            bg.stop()
+
+    def test_retries_exhausted_raises_connection_error(self, spill):
+        with BackgroundServer(spill) as bg:
+            client = ServeClient(bg.host, bg.port, retries=2, backoff=0.01,
+                                 timeout=2.0)
+        # Server gone for good: every reconnect fails.
+        with pytest.raises(ConnectionError, match="3 attempts"):
+            client.ping()
+        client.close()
+
+    def test_zero_retries_fails_fast(self, spill):
+        with BackgroundServer(spill) as bg:
+            client = ServeClient(bg.host, bg.port, retries=0, timeout=2.0)
+        with pytest.raises(ConnectionError, match="1 attempts"):
+            client.ping()
+        client.close()
+
+    def test_serve_errors_are_not_retried(self, spill):
+        with BackgroundServer(spill) as bg:
+            with ServeClient(bg.host, bg.port, retries=3) as client:
+                with pytest.raises(ServeError):
+                    client.request("bogus-op")
+                assert client.metrics()["errors_by_code"]["unknown-op"] == 1

@@ -4,7 +4,8 @@
 manifest writer (before generations, tombstones and delta shards existed),
 together with the exact sets it was built from and its expected count
 matrix.  These tests pin the compatibility promise: v1 artifacts attach,
-serve and accept appends unchanged, and anything that is neither v1 nor v2
+serve and accept appends unchanged (the first mutation re-commits them at
+version 3 with checksums), and anything outside the supported versions
 fails with :class:`~repro.core.errors.SpillFormatError` — never a KeyError
 or a silently wrong attach.
 """
@@ -64,7 +65,7 @@ class TestV1Attach:
             assert index.widths.size == sharded.shards[s].n_sets
 
     def test_supported_versions_constant(self):
-        assert SUPPORTED_SPILL_VERSIONS == (1, 2)
+        assert SUPPORTED_SPILL_VERSIONS == (1, 2, 3)
 
 
 class TestV1Serve:
@@ -92,8 +93,14 @@ class TestV1Migration:
                  for _ in range(3)]
         sharded.append(delta)
         manifest = json.loads((v1_spill / "manifest.json").read_text())
-        assert manifest["version"] == 2
+        assert manifest["version"] == 3
         assert manifest["generation"] == 1
+        # The upgrade records checksums for every shard, old and new.
+        assert manifest["checksums"] == "blake2b-128"
+        assert all(set(entry["files"]) == {"words.npy", "offsets.npy",
+                                           "widths.npy", "order.npy",
+                                           "failed.npy"}
+                   for entry in manifest["shards"])
         kinds = [entry["kind"] for entry in manifest["shards"]]
         assert kinds[:-1] == ["base"] * (len(kinds) - 1)
         assert kinds[-1] == "delta"
@@ -116,7 +123,12 @@ class TestV1Migration:
         sharded = ShardedCollection.from_spill(v1_spill)
         sharded.delete([0, 5])
         assert sharded.n_sets == 10
-        assert (v1_spill / "tombstones.npy").exists()
+        # v3 deletes write generational tombstone files recorded in the
+        # manifest — never the legacy fixed name.
+        manifest = json.loads((v1_spill / "manifest.json").read_text())
+        tombstones_file = manifest["tombstones"]["file"]
+        assert tombstones_file == "tombstones_0001.npy"
+        assert (v1_spill / tombstones_file).exists()
         reloaded = ShardedCollection.from_spill(v1_spill)
         assert reloaded.generation == 1
         np.testing.assert_array_equal(reloaded.tombstones, [0, 5])
