@@ -1,0 +1,213 @@
+"""Sparse/pruned counting: result footprint, tile pruning, and auto demotion.
+
+Two claims from the sparse counting redesign are measured here:
+
+* **Pruning pays before SWAR work** — on a support-skewed collection, a
+  ``min_support`` bound lets the tiled engines skip whole width-class tiles
+  whose set-size bounds cannot reach the threshold, and the surviving
+  sparse result is bit-identical to dense-then-filter while storing a
+  fraction of the ``8 n^2`` dense matrix.
+* **``result_format="auto"`` demotes an oversized dense matrix** — a
+  streamed mining workload whose dense all-pairs matrix alone exceeds the
+  memory budget completes with a sparse result whose traced peak stays
+  under that budget, and the surviving counts match the dense oracle.
+
+Scale knobs: ``REPRO_BENCH_SPARSE_SETS`` (pruning bench),
+``REPRO_BENCH_SPARSE_ITEMS`` / ``REPRO_BENCH_SPARSE_TXNS`` /
+``REPRO_BENCH_SPARSE_BUDGET`` (auto-demotion bench).  Defaults are sized to
+stay fast under the tier-1 run (which collects ``benchmarks/``); the
+paper-scale figure (50k+ items, dense matrix far over budget) is reached by
+raising the knobs, e.g. ``REPRO_BENCH_SPARSE_ITEMS=50000
+REPRO_BENCH_SPARSE_TXNS=60000 REPRO_BENCH_SPARSE_BUDGET=192000000``.  When
+the dense oracle itself would not fit in ``REPRO_BENCH_SPARSE_ORACLE_CAP``
+bytes, bit-identity is checked on a downsized replica of the same workload
+shape instead, and the full-scale run keeps only the budget/pruning
+assertions.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import time_call
+from repro.core.collection import BatmapCollection
+from repro.core.results import DenseCountResult, SparseCountResult
+from repro.datasets.fimi_io import read_fimi
+from repro.mining.pair_mining import BatmapPairMiner
+
+pytestmark = pytest.mark.bench
+
+# --- pruning bench ---------------------------------------------------------
+N_SETS = int(os.environ.get("REPRO_BENCH_SPARSE_SETS", 384))
+UNIVERSE = int(os.environ.get("REPRO_BENCH_SPARSE_UNIVERSE", 1500))
+PRUNE_MIN_SUPPORT = int(os.environ.get("REPRO_BENCH_SPARSE_PRUNE_MS", 24))
+
+# --- auto-demotion bench ---------------------------------------------------
+N_ITEMS = int(os.environ.get("REPRO_BENCH_SPARSE_ITEMS", 2600))
+N_TXNS = int(os.environ.get("REPRO_BENCH_SPARSE_TXNS", 4000))
+BUDGET = int(os.environ.get("REPRO_BENCH_SPARSE_BUDGET", 24_000_000))
+MIN_SUPPORT = int(os.environ.get("REPRO_BENCH_SPARSE_MIN_SUPPORT", 4))
+#: Largest dense all-pairs matrix (bytes) the in-line oracle may allocate;
+#: beyond this the bit-identity check moves to a downsized replica.
+ORACLE_CAP = int(os.environ.get("REPRO_BENCH_SPARSE_ORACLE_CAP", 600_000_000))
+SEED = 1
+
+
+def traced_peak(fn, *args, **kwargs):
+    """Run ``fn`` under tracemalloc; return (result, peak_bytes, seconds)."""
+    gc.collect()
+    tracemalloc.start()
+    try:
+        seconds, result = time_call(fn, *args, **kwargs)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak, seconds
+
+
+def skewed_sets(n_sets: int, universe: int, rng: np.random.Generator):
+    """Mostly-small sets with a hot minority — the shape pruning feeds on.
+
+    Every 12th set is large (its pairs survive ``PRUNE_MIN_SUPPORT``); the
+    rest are tiny, so their width-class tiles carry set-size bounds far
+    below the threshold and are skipped before any SWAR work.
+    """
+    sets = []
+    for i in range(n_sets):
+        size = 160 if i % 12 == 0 else int(rng.integers(1, 9))
+        sets.append(np.unique(rng.integers(0, universe, size=size)))
+    return sets
+
+
+def test_sparse_counting_prunes_and_shrinks(bench_artifact):
+    rng = np.random.default_rng(7)
+    sets = skewed_sets(N_SETS, UNIVERSE, rng)
+    collection = BatmapCollection.build(sets, UNIVERSE, rng=3)
+    counter = collection.batch_counter()
+
+    dense_seconds, dense = time_call(
+        lambda: counter.count_result(result_format="dense"))
+    sparse_seconds, sparse = time_call(
+        lambda: counter.count_result(result_format="sparse",
+                                     min_support=PRUNE_MIN_SUPPORT))
+    assert isinstance(dense, DenseCountResult)
+    assert isinstance(sparse, SparseCountResult)
+
+    # Bit-identity: every surviving pair equals dense-then-filter.
+    di, dj, dv = dense.frequent_pairs(PRUNE_MIN_SUPPORT)
+    si, sj, sv = sparse.frequent_pairs(PRUNE_MIN_SUPPORT)
+    np.testing.assert_array_equal(di, si)
+    np.testing.assert_array_equal(dj, sj)
+    np.testing.assert_array_equal(dv, sv)
+
+    skipped = sparse.stats["tiles_skipped"]
+    total = sparse.stats["tiles_total"]
+    print(f"\npruned {skipped}/{total} tiles | dense {dense.result_bytes} B "
+          f"({dense_seconds:.2f}s) | sparse {sparse.result_bytes} B "
+          f"({sparse_seconds:.2f}s) | {sv.size} surviving pairs")
+    bench_artifact.add("n_sets", N_SETS)
+    bench_artifact.add("min_support", PRUNE_MIN_SUPPORT)
+    bench_artifact.add("tiles_total", int(total))
+    bench_artifact.add("tiles_skipped", int(skipped))
+    bench_artifact.add("dense_result_bytes", int(dense.result_bytes))
+    bench_artifact.add("sparse_result_bytes", int(sparse.result_bytes))
+    bench_artifact.add("dense_seconds", dense_seconds)
+    bench_artifact.add("sparse_seconds", sparse_seconds)
+    bench_artifact.add("surviving_pairs", int(sv.size))
+
+    assert skipped > 0, "no tiles pruned — the skew should starve most tiles"
+    assert sparse.result_bytes < dense.result_bytes
+
+
+def write_workload(path, n_items: int, n_txns: int, seed: int = 0) -> None:
+    """Pair-per-transaction workload with a hot head.
+
+    Most items land in only a handful of transactions (their width-class
+    tiles fall below ``MIN_SUPPORT`` and prune); a 40-item hot head joins
+    every third transaction, producing the surviving frequent pairs.
+    """
+    rng = np.random.default_rng(seed)
+    hot = min(40, max(2, n_items // 4))
+    lines = []
+    for t in range(n_txns):
+        items = np.unique(rng.integers(hot, n_items, size=2))
+        if t % 3 == 0:
+            items = np.unique(np.concatenate([items, [int(rng.integers(0, hot))]]))
+        lines.append(" ".join(map(str, items)))
+    path.write_text("\n".join(lines) + "\n")
+
+
+def test_auto_demotes_oversized_result(tmp_path, bench_artifact):
+    path = tmp_path / "sparse.fimi"
+    write_workload(path, N_ITEMS, N_TXNS, seed=SEED)
+    miner = BatmapPairMiner(compute="auto")
+
+    # Warm-up on a tiny instance so lazy imports and pool machinery are not
+    # billed to the traced windows.
+    warm = tmp_path / "warm.fimi"
+    write_workload(warm, 64, 200, seed=2)
+    miner.mine(read_fimi(warm), min_support=1, rng=SEED)
+    miner.mine_stream(warm, min_support=1, rng=SEED, memory_budget="32M",
+                      result_format="sparse", filter_items=False)
+
+    report, peak_sparse, sparse_seconds = traced_peak(
+        lambda: miner.mine_stream(path, min_support=MIN_SUPPORT, rng=SEED,
+                                  memory_budget=BUDGET, result_format="auto",
+                                  filter_items=False))
+    counts = report.supports.counts
+    assert isinstance(counts, SparseCountResult), (
+        "auto kept the dense format — the workload no longer exceeds the "
+        "budget; lower REPRO_BENCH_SPARSE_BUDGET or raise *_ITEMS")
+    n_kept = counts.n_rows
+    dense_bytes = 8 * n_kept * n_kept
+    assert dense_bytes > BUDGET, (
+        f"dense matrix ({dense_bytes} B) fits the budget ({BUDGET} B); "
+        "the demotion was not exercised")
+    assert peak_sparse < BUDGET, (
+        f"sparse streaming peak {peak_sparse} exceeds the budget {BUDGET}")
+    assert counts.stats["tiles_skipped"] > 0
+
+    # Bit-identity against the dense oracle — in line when the dense matrix
+    # is affordable, on a downsized replica of the same workload otherwise.
+    if dense_bytes <= ORACLE_CAP:
+        oracle_items, oracle_txns, oracle_path = N_ITEMS, N_TXNS, path
+        replica = report
+    else:
+        oracle_items = int((ORACLE_CAP / 8) ** 0.5 // 2)
+        oracle_txns = max(200, oracle_items * N_TXNS // N_ITEMS)
+        oracle_path = tmp_path / "replica.fimi"
+        write_workload(oracle_path, oracle_items, oracle_txns, seed=SEED)
+        replica = miner.mine_stream(oracle_path, min_support=MIN_SUPPORT,
+                                    rng=SEED, memory_budget=BUDGET,
+                                    result_format="sparse",
+                                    filter_items=False)
+    dense_report, peak_dense, dense_seconds = traced_peak(
+        lambda: miner.mine(read_fimi(oracle_path), min_support=MIN_SUPPORT,
+                           rng=SEED, filter_items=False))
+    assert (replica.supports.frequent_pairs(MIN_SUPPORT)
+            == dense_report.supports.frequent_pairs(MIN_SUPPORT))
+
+    skipped = counts.stats["tiles_skipped"]
+    total = counts.stats["tiles_total"]
+    print(f"\nbudget {BUDGET} B | dense matrix {dense_bytes} B | sparse peak "
+          f"{peak_sparse} B ({sparse_seconds:.1f}s) | oracle peak "
+          f"{peak_dense} B at {oracle_items} items ({dense_seconds:.1f}s) | "
+          f"pruned {skipped}/{total} tiles | nnz {counts.nnz}")
+    bench_artifact.add("n_items", N_ITEMS)
+    bench_artifact.add("n_kept", int(n_kept))
+    bench_artifact.add("budget_bytes", BUDGET)
+    bench_artifact.add("dense_matrix_bytes", int(dense_bytes))
+    bench_artifact.add("sparse_peak_bytes", int(peak_sparse))
+    bench_artifact.add("sparse_seconds", sparse_seconds)
+    bench_artifact.add("oracle_items", int(oracle_items))
+    bench_artifact.add("oracle_peak_bytes", int(peak_dense))
+    bench_artifact.add("oracle_seconds", dense_seconds)
+    bench_artifact.add("tiles_total", int(total))
+    bench_artifact.add("tiles_skipped", int(skipped))
+    bench_artifact.add("result_bytes", int(counts.result_bytes))
+    bench_artifact.add("nnz", int(counts.nnz))

@@ -171,6 +171,14 @@ def build_parser() -> argparse.ArgumentParser:
                            "disk and count shard pairs with bounded resident "
                            "memory (batmap pairs only; --compute device is "
                            "treated as auto)")
+    mine.add_argument("--result-format",
+                      choices=["auto", "dense", "sparse"], default="dense",
+                      help="count result shape: 'dense' is the legacy full "
+                           "matrix (the oracle), 'sparse' stores only nonzero "
+                           "pairs and prunes tiles below --min-support inside "
+                           "the engines, 'auto' picks sparse when the dense "
+                           "matrix would not fit --memory-budget "
+                           "(batmap engine only)")
     mine.add_argument("--memory-budget", default=None, metavar="SIZE",
                       help="resident-set ceiling, e.g. 64M or 2G.  With "
                            "--stream it sizes the shards (default 256M); "
@@ -332,6 +340,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-requests", type=int, default=None,
                        help="shut down after this many request lines "
                             "(finite sessions for smoke tests)")
+    serve.add_argument("--result-format", choices=["dense", "sparse"],
+                       default="dense",
+                       help="top-k serving strategy: 'dense' materialises "
+                            "full count rows, 'sparse' streams shard "
+                            "rectangles through a pruned heap accumulator "
+                            "(identical answers)")
 
     query = sub.add_parser(
         "query", help="send one JSON request to a running server")
@@ -367,6 +381,11 @@ def _cmd_mine(args: argparse.Namespace, out) -> int:
         print(f"--max-size other than 2 requires the batmap engine, "
               f"got {args.engine!r}", file=out)
         return 2
+    if args.result_format != "dense" and (args.engine != "batmap"
+                                          or args.max_size != 2):
+        print("--result-format other than 'dense' requires the batmap engine "
+              "with --max-size 2", file=out)
+        return 2
     if args.stream or args.memory_budget is not None:
         if args.engine != "batmap" or args.max_size != 2:
             print("--stream/--memory-budget require the batmap engine with "
@@ -393,9 +412,11 @@ def _cmd_mine(args: argparse.Namespace, out) -> int:
     if args.engine == "batmap":
         miner = BatmapPairMiner(compute=args.compute, workers=args.workers,
                                 build_compute=args.build_compute,
-                                build_workers=args.build_workers)
+                                build_workers=args.build_workers,
+                                result_format=args.result_format)
         report = miner.mine(db, min_support=args.min_support, rng=args.seed)
         pairs = report.supports.frequent_pairs(args.min_support)
+        _maybe_print_result_format(report, out)
         timing = "modelled" if report.count_backend == "kernel" else "wall clock"
         print(f"phases: preprocess {report.preprocess_seconds:.3f}s, "
               f"count {report.counting_seconds:.5f}s ({timing}), "
@@ -432,6 +453,18 @@ def _report_pairs(pairs, args: argparse.Namespace, out, elapsed: float,
     for (i, j), support in ranked:
         print(f"  ({i}, {j})  support={support}", file=out)
     _maybe_write_pairs(pairs, args.pairs_out, out)
+
+
+def _maybe_print_result_format(report, out) -> None:
+    """One telemetry line when the counts came back as a sparse result."""
+    from repro.core.results import SparseCountResult
+
+    counts = report.supports.counts
+    if isinstance(counts, SparseCountResult):
+        stats = counts.stats or {}
+        print(f"result format: sparse ({counts.nnz} nonzero pairs, "
+              f"{stats.get('tiles_skipped', 0)}/{stats.get('tiles_total', 0)} "
+              f"tiles pruned, {counts.result_bytes} result bytes)", file=out)
 
 
 def _maybe_write_pairs(pairs, path, out) -> None:
@@ -480,7 +513,8 @@ def _mine_stream(args: argparse.Namespace, out) -> int:
     compute = "auto" if args.compute == "device" else args.compute
     miner = BatmapPairMiner(compute=compute, workers=args.workers,
                             build_compute=args.build_compute,
-                            build_workers=args.build_workers)
+                            build_workers=args.build_workers,
+                            result_format=args.result_format)
     start = time.perf_counter()
     report = miner.mine_stream(
         args.input,
@@ -490,6 +524,7 @@ def _mine_stream(args: argparse.Namespace, out) -> int:
         max_transactions=args.max_transactions,
     )
     pairs = report.supports.frequent_pairs(args.min_support)
+    _maybe_print_result_format(report, out)
     elapsed = time.perf_counter() - start
     print(f"streamed {args.input} out-of-core "
           f"(memory budget {budget}, {report.batmap_bytes} packed bytes spilled)",
@@ -880,6 +915,7 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         request_timeout=args.timeout,
         cache_entries=args.cache_entries,
         max_requests=args.max_requests,
+        result_format=args.result_format,
     )
 
     async def _run() -> dict:

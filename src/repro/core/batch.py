@@ -53,9 +53,23 @@ import numpy as np
 
 from repro.core.errors import LayoutError
 from repro.core.intersection import require_compression_floor, require_same_family
+from repro.core.results import (
+    DenseCountResult,
+    SparseAccumulator,
+    TopKAccumulator,
+)
 from repro.utils.validation import require, require_positive
 
-__all__ = ["WidthClass", "WidthClassIndex", "BatchPairCounter", "DEFAULT_BLOCK_WORDS"]
+__all__ = [
+    "WidthClass",
+    "WidthClassIndex",
+    "BatchPairCounter",
+    "DEFAULT_BLOCK_WORDS",
+    "SPARSE_TILE_ENTRIES",
+    "sparse_all_pairs",
+    "sparse_cross",
+    "width_slot_bounds",
+]
 
 #: Upper bound on the number of packed words materialised by one broadcasted
 #: comparison (the engine chunks the outer operand to stay below it).  Sized
@@ -432,6 +446,148 @@ class WidthClassIndex:
         return out
 
 
+#: Upper bound on the entries of one sparse-mode count tile (the dense
+#: ``(rows, cols)`` int64 block that exists only transiently between the
+#: SWAR fold and the nonzero extraction).  2**20 entries keep each
+#: temporary at 8 MB — small enough that the sparse path's peak is governed
+#: by the stored nonzeros, not by tile scratch.
+SPARSE_TILE_ENTRIES = 1 << 20
+
+
+def width_slot_bounds(widths, failed_per_slot=None) -> np.ndarray:
+    """Per-slot count upper bounds derived from packed row widths alone.
+
+    A row of ``w`` words holds ``4 * w = 3r`` byte entries, and every stored
+    element occupies two cuckoo copies, so at most ``2 * w`` elements are
+    stored; adding the per-set failed-insertion count bounds the *repaired*
+    set size as well.  Exact set sizes (when the caller knows them — the
+    miner's item supports, a live collection's ``Batmap.set_size``) give a
+    tighter bound; this is the fallback for mmap'd spilled shards where
+    only the layout is resident.
+    """
+    bounds = 2 * np.asarray(widths, dtype=np.int64)
+    if failed_per_slot is not None:
+        bounds = bounds + np.asarray(failed_per_slot, dtype=np.int64)
+    return bounds
+
+
+def sparse_all_pairs(
+    index: WidthClassIndex,
+    *,
+    consume,
+    bounds=None,
+    threshold=None,
+    tile_entries: int = SPARSE_TILE_ENTRIES,
+) -> dict:
+    """All-pairs counting as a stream of pruned tiles instead of one matrix.
+
+    Walks the same class-pair structure as :meth:`WidthClassIndex.all_pairs`
+    but chunks each class pair into row tiles of at most ``tile_entries``
+    entries and hands every *computed* tile to ``consume(rows, cols, block)``
+    (slot-space axes) instead of scattering into a preallocated ``n x n``
+    result.  Before any SWAR work, each tile's count upper bound —
+    ``min(max(bounds[rows]), max(bounds[cols]))`` — is tested against the
+    caller's running ``threshold()``; tiles strictly below it are skipped
+    entirely.  Same-class tiles are pre-masked to the slot-space upper
+    triangle so each unordered pair reaches ``consume`` exactly once
+    (diagonal self-counts included).
+
+    Returns pruning telemetry: ``{"tiles_total": ..., "tiles_skipped": ...}``.
+    """
+    require_positive(tile_entries, "tile_entries")
+    thr = threshold if threshold is not None else (lambda: 0)
+    if bounds is not None:
+        bounds = np.asarray(bounds, dtype=np.int64)
+    stats = {"tiles_total": 0, "tiles_skipped": 0}
+    for ci in range(index.n_classes):
+        cols = index.members[ci]
+        b = index.class_words(ci)
+        col_bound = int(bounds[cols].max()) if bounds is not None else None
+        for cj in range(ci, index.n_classes):
+            rows_all = index.members[cj]
+            chunk = max(1, tile_entries // max(1, cols.size))
+            for start in range(0, rows_all.size, chunk):
+                rows = rows_all[start:start + chunk]
+                stats["tiles_total"] += 1
+                floor = thr()
+                if floor > 0 and bounds is not None:
+                    if min(int(bounds[rows].max()), col_bound) < floor:
+                        stats["tiles_skipped"] += 1
+                        continue
+                a = index._rows(rows, cj)
+                block = index._folded_counts(a, b)
+                if ci == cj:
+                    block = np.where(rows[:, None] <= cols[None, :], block, 0)
+                consume(rows, cols, block)
+    return stats
+
+
+def sparse_cross(
+    index: WidthClassIndex,
+    other: WidthClassIndex,
+    *,
+    consume,
+    row_slots=None,
+    col_slots=None,
+    row_bounds=None,
+    col_bounds=None,
+    threshold=None,
+    tile_entries: int = SPARSE_TILE_ENTRIES,
+) -> dict:
+    """Rectangular counting as a stream of pruned tiles (cross-buffer safe).
+
+    The sparse counterpart of :meth:`WidthClassIndex.cross_index`: rows are
+    gathered from ``index``, columns from ``other`` (which may be ``index``
+    itself), grouped by width-class pair, chunked to ``tile_entries`` and
+    pruned against ``threshold()`` exactly as :func:`sparse_all_pairs` does.
+    ``consume(rows, cols, block)`` receives *slot ids* on each side — every
+    ordered (row, col) pair exactly once, no triangle masking — so the
+    caller owns the slot-to-global mapping and any symmetry canonicalisation.
+    """
+    require_positive(tile_entries, "tile_entries")
+    thr = threshold if threshold is not None else (lambda: 0)
+    row_slots = (np.arange(index.n_slots) if row_slots is None
+                 else np.asarray(row_slots, dtype=np.int64).ravel())
+    col_slots = (np.arange(other.n_slots) if col_slots is None
+                 else np.asarray(col_slots, dtype=np.int64).ravel())
+    stats = {"tiles_total": 0, "tiles_skipped": 0}
+    if row_slots.size == 0 or col_slots.size == 0:
+        return stats
+    if row_bounds is not None:
+        row_bounds = np.asarray(row_bounds, dtype=np.int64)
+    if col_bounds is not None:
+        col_bounds = np.asarray(col_bounds, dtype=np.int64)
+    merged = np.unique(np.concatenate([index.class_widths, other.class_widths]))
+    for small, large in zip(merged[:-1], merged[1:]):
+        require(int(large) % int(small) == 0,
+                f"cross-buffer widths {int(large)} and {int(small)} do not nest; "
+                "both shards must be packed from the same nested range family")
+    for cj_idx in np.unique(other.class_of[col_slots]).tolist():
+        cols = col_slots[other.class_of[col_slots] == cj_idx]
+        b = other._rows(cols, cj_idx)
+        col_bound = (int(col_bounds[cols].max())
+                     if col_bounds is not None else None)
+        for ci_idx in np.unique(index.class_of[row_slots]).tolist():
+            rows_in_class = row_slots[index.class_of[row_slots] == ci_idx]
+            chunk = max(1, tile_entries // max(1, cols.size))
+            for start in range(0, rows_in_class.size, chunk):
+                rows = rows_in_class[start:start + chunk]
+                stats["tiles_total"] += 1
+                floor = thr()
+                if (floor > 0 and row_bounds is not None
+                        and col_bounds is not None):
+                    if min(int(row_bounds[rows].max()), col_bound) < floor:
+                        stats["tiles_skipped"] += 1
+                        continue
+                a = index._rows(rows, ci_idx)
+                if a.shape[1] >= b.shape[1]:
+                    block = index._folded_counts(a, b)
+                else:
+                    block = index._folded_counts(b, a).T
+                consume(rows, cols, block)
+    return stats
+
+
 class BatchPairCounter:
     """All-pairs / pairs-list / top-k intersection counts for one collection.
 
@@ -536,8 +692,144 @@ class BatchPairCounter:
         k = min(k, values.size)
         if k == 0:
             return []
-        # partial-select then exact-sort only the selected candidates
+        # partial-select, then widen to every pair tied at the selection
+        # boundary so rank ties resolve by the index convention (argpartition
+        # alone picks an arbitrary subset of boundary ties), then exact-sort
+        # only that candidate pool
         candidate = np.argpartition(values, -k)[-k:]
-        order = np.lexsort((ju[candidate], iu[candidate], -values[candidate]))
-        ranked = candidate[order]
+        boundary = int(values[candidate].min())
+        pool = np.nonzero(values >= boundary)[0]
+        order = np.lexsort((ju[pool], iu[pool], -values[pool]))
+        ranked = pool[order][:k]
         return [((int(iu[idx]), int(ju[idx])), int(values[idx])) for idx in ranked]
+
+    # ------------------------------------------------------------------ #
+    # CountResult-producing queries (sparse / pruned / top-k)
+    # ------------------------------------------------------------------ #
+    def slot_bounds(self) -> np.ndarray:
+        """Per-slot count upper bounds from exact set sizes.
+
+        ``Batmap.set_size`` counts stored *and* failed insertions, so the
+        bound holds for the post-repair support too — which is what makes
+        tile skipping sound for the miner's ``min_support`` filter (repair
+        runs after counting and only ever adds).
+        """
+        return np.array([bm.set_size for bm in self.collection.batmaps_sorted],
+                        dtype=np.int64)
+
+    def count_result(
+        self,
+        *,
+        result_format: str = "dense",
+        min_support: int = 0,
+        top_k: int | None = None,
+        bounds=None,
+        tile_entries: int = SPARSE_TILE_ENTRIES,
+    ):
+        """All-pairs counts as a :class:`~repro.core.results.CountResult`.
+
+        ``result_format="dense"`` wraps the cached dense matrix (the oracle
+        path, unchanged).  ``"sparse"`` streams pruned tiles through
+        :func:`sparse_all_pairs`: tiles whose count upper bound (from
+        ``bounds``, default :meth:`slot_bounds`) falls below ``min_support``
+        are skipped before any SWAR work, and surviving nonzeros accumulate
+        as COO triplets in original index order.  ``top_k=k`` instead keeps
+        a running heap whose floor tightens the pruning threshold as it
+        fills, returning a :class:`~repro.core.results.TopKCountResult`.
+        """
+        require(result_format in ("dense", "sparse"),
+                f"result_format must be 'dense' or 'sparse', got {result_format!r}")
+        require(min_support >= 0, f"min_support must be >= 0, got {min_support}")
+        order = self.collection.order
+        n = len(order)
+        if bounds is None:
+            bounds = self.slot_bounds()
+        if top_k is not None:
+            acc = TopKAccumulator(top_k)
+
+            def consume_topk(rows, cols, block):
+                floor = max(1, min_support, acc.floor)
+                r_local, c_local = np.nonzero(block >= floor)
+                if r_local.size == 0:
+                    return
+                oi = order[rows[r_local]]
+                oj = order[cols[c_local]]
+                keep = oi != oj
+                if not keep.any():
+                    return
+                values = block[r_local, c_local][keep]
+                oi, oj = oi[keep], oj[keep]
+                acc.push(np.minimum(oi, oj), np.maximum(oi, oj), values)
+
+            stats = sparse_all_pairs(
+                self.index, consume=consume_topk, bounds=bounds,
+                threshold=lambda: max(min_support, acc.floor),
+                tile_entries=tile_entries)
+            return acc.result(n, min_support=min_support, stats=stats,
+                              fill_zeros=min_support <= 1)
+        if result_format == "dense":
+            # the dense path computes every count — nothing is pruned, so
+            # the result carries no filtering floor
+            return DenseCountResult(self.count_all_pairs())
+        sparse = SparseAccumulator(n, min_support=min_support)
+
+        def consume(rows, cols, block):
+            sparse.add_block(order[rows], order[cols], block)
+
+        stats = sparse_all_pairs(
+            self.index, consume=consume, bounds=bounds,
+            threshold=lambda: min_support, tile_entries=tile_entries)
+        sparse.tiles_total = stats["tiles_total"]
+        sparse.tiles_skipped = stats["tiles_skipped"]
+        return sparse.finalize()
+
+    def count_cross_result(
+        self,
+        rows,
+        cols,
+        *,
+        min_support: int = 0,
+        bounds=None,
+        tile_entries: int = SPARSE_TILE_ENTRIES,
+    ):
+        """Rectangular counts (:meth:`count_cross` shape) as a sparse result.
+
+        ``rows`` / ``cols`` are *original* set indices (each side free of
+        duplicates); the returned non-symmetric
+        :class:`~repro.core.results.SparseCountResult` is indexed by
+        position within those lists — entry ``(p, q)`` is the count of
+        ``rows[p]`` x ``cols[q]``.  With ``min_support > 0``, tiles whose
+        set-size bound cannot reach the threshold are skipped before any
+        SWAR work (sound for the matrix product: repair only adds).
+        """
+        require(min_support >= 0, f"min_support must be >= 0, got {min_support}")
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        cols = np.asarray(cols, dtype=np.int64).ravel()
+        require(np.unique(rows).size == rows.size
+                and np.unique(cols).size == cols.size,
+                "count_cross_result requires duplicate-free index lists")
+        rank = self.collection.rank
+        row_slots = rank[rows]
+        col_slots = rank[cols]
+        n = len(self.collection)
+        row_of = np.full(n, -1, dtype=np.int64)
+        row_of[row_slots] = np.arange(rows.size)
+        col_of = np.full(n, -1, dtype=np.int64)
+        col_of[col_slots] = np.arange(cols.size)
+        if bounds is None:
+            bounds = self.slot_bounds()
+        acc = SparseAccumulator(rows.size, cols.size, symmetric=False,
+                                min_support=min_support)
+
+        def consume(r_slots, c_slots, block):
+            acc.add_block(row_of[r_slots], col_of[c_slots], block)
+
+        stats = sparse_cross(
+            self.index, self.index, consume=consume,
+            row_slots=row_slots, col_slots=col_slots,
+            row_bounds=bounds, col_bounds=bounds,
+            threshold=(lambda: min_support) if min_support > 0 else None,
+            tile_entries=tile_entries)
+        acc.tiles_total = stats["tiles_total"]
+        acc.tiles_skipped = stats["tiles_skipped"]
+        return acc.finalize()

@@ -344,13 +344,27 @@ class BatmapCollection:
         parallel=False,
         workers: int | None = None,
         compute: str | None = None,
-    ) -> np.ndarray:
-        """Dense ``n x n`` matrix of stored-copy intersection counts.
+        result_format: str = "dense",
+        min_support: int = 0,
+        top_k: int | None = None,
+        memory_budget: int | None = None,
+    ):
+        """Stored-copy intersection counts of every pair.
 
         Backend selection goes through the workload planner
         (:func:`~repro.core.plan.plan_counts`); all backends are
         bit-identical to looping :func:`~repro.core.intersection.count_common`
         over every pair.  The diagonal holds each set's stored element count.
+
+        ``result_format="dense"`` (the default) keeps the legacy contract —
+        a dense ``n x n`` ``int64`` ndarray.  Any other format (or a
+        ``top_k``) returns a :class:`~repro.core.results.CountResult`
+        instead: ``"sparse"`` holds COO triplets with tiles below
+        ``min_support`` pruned before any SWAR work, and ``"auto"`` demotes
+        dense to sparse when the dense matrix alone would exceed
+        ``memory_budget`` (dense-mode callers are unaffected; sparse-mode
+        results warn ``DeprecationWarning`` only if their raw matrix is
+        materialised through ``matrix()``).
 
         ``compute`` names a backend explicitly (``"auto"``, ``"host"``,
         ``"batch"`` or ``"parallel"``).  ``parallel`` is the older shorthand
@@ -366,6 +380,13 @@ class BatmapCollection:
                 f"compute must be 'auto', 'host', 'batch' or 'parallel', got {compute!r}")
         if workers is None and parallel and not isinstance(parallel, bool):
             workers = int(parallel)
+        if result_format != "dense" or top_k is not None:
+            requested = compute if compute is not None else (
+                "parallel" if parallel else None)
+            return self.count_result(
+                compute=requested, workers=workers,
+                result_format=result_format, min_support=min_support,
+                top_k=top_k, memory_budget=memory_budget)
         byte_packable = self.r0 >= 4 and self.config.entry_storage_bits == 8
         requested = compute if compute is not None else (
             "parallel" if parallel else ("batch" if byte_packable else "host")
@@ -379,6 +400,82 @@ class BatmapCollection:
         if plan.backend == "host" or not byte_packable:
             return self._count_all_pairs_loop()
         return self.batch_counter().count_all_pairs()
+
+    def count_result(
+        self,
+        *,
+        compute: str | None = None,
+        workers: int | None = None,
+        result_format: str = "auto",
+        min_support: int = 0,
+        top_k: int | None = None,
+        memory_budget: int | None = None,
+    ):
+        """All-pairs counts as a :class:`~repro.core.results.CountResult`.
+
+        The format-aware twin of :meth:`count_all_pairs`: ``"auto"``
+        resolves against ``memory_budget``
+        (:func:`~repro.core.plan.resolve_result_format`), ``min_support``
+        becomes the engines' tile-pruning bound, and ``top_k`` returns the
+        running-heap result.  Every backend produces bit-identical surviving
+        counts; the dense format remains the oracle.
+        """
+        from repro.core.plan import (  # parallel sits above core
+            PlanFeatures,
+            plan_counts,
+            resolve_result_format,
+        )
+
+        require(compute in (None, "auto", "host", "batch", "parallel"),
+                f"compute must be 'auto', 'host', 'batch' or 'parallel', got {compute!r}")
+        fmt = resolve_result_format(result_format, len(self), memory_budget)
+        byte_packable = self.r0 >= 4 and self.config.entry_storage_bits == 8
+        requested = compute if compute is not None else (
+            "batch" if byte_packable else "host")
+        features = PlanFeatures.from_collection(
+            self, result_format=fmt, min_support=min_support)
+        plan = plan_counts(features, requested=requested, workers=workers)
+        if plan.backend == "parallel" and byte_packable:
+            from repro.parallel.executor import ParallelPairCounter
+
+            with ParallelPairCounter(self, workers=workers) as counter:
+                return counter.count_result(
+                    result_format=fmt, min_support=min_support, top_k=top_k)
+        if plan.backend == "host" or not byte_packable:
+            return self._loop_count_result(fmt, min_support, top_k)
+        return self.batch_counter().count_result(
+            result_format=fmt, min_support=min_support, top_k=top_k)
+
+    def _loop_count_result(self, fmt: str, min_support: int, top_k):
+        """Reference-loop counts converted to the requested result shape.
+
+        The per-pair loop computes everything (no tiles exist to prune), so
+        the conversion is pure reshaping and the result carries no pruning
+        floor.
+        """
+        from repro.core.results import (
+            DenseCountResult,
+            SparseCountResult,
+            TopKAccumulator,
+        )
+
+        dense = self._count_all_pairs_loop()
+        n = dense.shape[0]
+        if top_k is not None:
+            acc = TopKAccumulator(top_k)
+            iu, ju = np.triu_indices(n, k=1)
+            values = dense[iu, ju]
+            keep = values >= max(1, min_support)
+            acc.push(iu[keep], ju[keep], values[keep])
+            return acc.result(n, min_support=min_support,
+                              fill_zeros=min_support <= 1)
+        if fmt == "dense":
+            return DenseCountResult(dense)
+        iu, ju = np.triu_indices(n, k=0)
+        values = dense[iu, ju]
+        keep = values != 0
+        return SparseCountResult(n, rows=iu[keep], cols=ju[keep],
+                                 values=values[keep])
 
     def _count_all_pairs_loop(self) -> np.ndarray:
         """Per-pair reference loop, kept for sub-word ranges and verification."""

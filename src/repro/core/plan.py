@@ -47,19 +47,21 @@ from repro.utils.validation import require
 
 __all__ = [
     "BACKENDS",
+    "RESULT_FORMATS",
     "BUILD_BACKENDS",
     "WIDE_WORDS_PER_SET",
     "SHARD_FANOUT_MIN",
     "HOST_MAX_PAIRS",
-    "BULK_BUILD_MIN_ELEMENTS",
-    "PARALLEL_BUILD_MIN_SETS",
-    "PARALLEL_BUILD_MIN_ELEMENTS",
     "PlanFeatures",
     "CountPlan",
     "BuildPlan",
     "plan_counts",
     "plan_levelwise",
     "plan_build",
+    "resolve_result_format",
+    "BULK_BUILD_MIN_ELEMENTS",
+    "PARALLEL_BUILD_MIN_SETS",
+    "PARALLEL_BUILD_MIN_ELEMENTS",
 ]
 
 #: Backends a plan can name, slowest-setup-last.  ``"sharded"`` is the
@@ -85,6 +87,39 @@ SHARD_FANOUT_MIN = 8
 #: Explicit pair lists at or below this size stay on the per-pair host
 #: reference unless a batch engine has already been built for the collection.
 HOST_MAX_PAIRS = 16
+
+#: Result formats the planner can resolve.  ``"dense"`` is the historical
+#: ``n x n`` int64 matrix (kept as the oracle); ``"sparse"`` is the COO
+#: :class:`~repro.core.results.SparseCountResult`; ``"auto"`` picks sparse
+#: exactly when the dense result matrix itself would not fit under the
+#: resident-set ``memory_budget``.
+RESULT_FORMATS = ("auto", "dense", "sparse")
+
+#: Bytes per dense result entry (int64) — the auto-demotion gate's constant.
+RESULT_ENTRY_BYTES = 8
+
+
+def resolve_result_format(
+    requested: str,
+    n_sets: int,
+    memory_budget: int | None = None,
+) -> str:
+    """Resolve a requested result format to a concrete one.
+
+    ``"auto"`` demotes dense to sparse when the dense result matrix alone
+    (``n_sets**2 * 8`` bytes) exceeds the resident-set budget — the
+    output-side analogue of the packed-buffer gate that demotes counting to
+    the sharded pipeline.  Without a budget, ``"auto"`` means ``"dense"``
+    (full back-compatibility for existing callers).
+    """
+    require(requested in RESULT_FORMATS,
+            f"result_format must be one of {RESULT_FORMATS}, got {requested!r}")
+    if requested != "auto":
+        return requested
+    if (memory_budget is not None
+            and RESULT_ENTRY_BYTES * n_sets * n_sets > memory_budget):
+        return "sparse"
+    return "dense"
 
 
 def _executor_policy():
@@ -115,9 +150,12 @@ class PlanFeatures:
     byte_entries: bool     #: True when entries occupy one byte (SWAR-packable)
     cached_engine: bool = False  #: a BatchPairCounter already exists
     n_shards: int = 1      #: spilled shards backing the collection (1 = in-memory)
+    result_format: str = "auto"  #: requested result format (one of RESULT_FORMATS)
+    min_support: int = 0   #: pruning floor known at plan time (0 = no pruning)
 
     @classmethod
-    def from_collection(cls, collection) -> "PlanFeatures":
+    def from_collection(cls, collection, *, result_format: str = "auto",
+                        min_support: int = 0) -> "PlanFeatures":
         """Summarise a built :class:`~repro.core.collection.BatmapCollection`."""
         # Widths come from the batmap ranges directly (3*r entries / 4 per
         # word) — building the packed device buffer is not needed to plan.
@@ -128,6 +166,8 @@ class PlanFeatures:
             r0=collection.r0,
             byte_entries=collection.config.entry_storage_bits == 8,
             cached_engine=collection.has_batch_counter(),
+            result_format=result_format,
+            min_support=min_support,
         )
 
     @property
@@ -148,10 +188,15 @@ class CountPlan:
     backend: str   #: one of :data:`BACKENDS`
     workers: int   #: resolved worker count (1 for the serial backends)
     reason: str    #: one-line explanation, surfaced by the CLI
+    result_format: str = "dense"  #: resolved concrete format ("dense" | "sparse")
+    min_support: int = 0          #: pruning floor the engines should apply
 
     def __post_init__(self) -> None:
         require(self.backend in BACKENDS,
                 f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        require(self.result_format in ("dense", "sparse"),
+                f"resolved result_format must be 'dense' or 'sparse', "
+                f"got {self.result_format!r}")
 
 
 def plan_counts(
@@ -185,78 +230,89 @@ def plan_counts(
         buffer exceeds it demotes to the ``"sharded"`` out-of-core pipeline
         (byte-packable layouts only — sub-word and wide-entry layouts stay
         on the per-pair reference, which never materialises the buffer).
-        ``None`` (the default) disables the gate entirely.
+        It also feeds the *result-format* gate: a ``features.result_format``
+        of ``"auto"`` resolves to ``"sparse"`` when the dense result matrix
+        (``n_sets**2 * 8`` bytes) would not fit under the budget.
+        ``None`` (the default) disables both gates entirely.
     """
     if not isinstance(features, PlanFeatures):
         features = PlanFeatures.from_collection(features)
     require(requested == "auto" or requested in BACKENDS,
             f"requested must be 'auto' or one of {BACKENDS}, got {requested!r}")
+    require(features.min_support >= 0,
+            f"min_support must be >= 0, got {features.min_support}")
     min_sets, resolve_workers = _executor_policy()
     n_workers = resolve_workers(workers)
+    fmt = resolve_result_format(features.result_format, features.n_sets,
+                                memory_budget)
+
+    def plan(backend: str, plan_workers: int, reason: str) -> CountPlan:
+        return CountPlan(backend, plan_workers, reason, result_format=fmt,
+                         min_support=features.min_support)
 
     if requested == "kernel":
-        return CountPlan("kernel", 1, "simulated device kernel requested")
+        return plan("kernel", 1, "simulated device kernel requested")
     if requested == "host":
-        return CountPlan("host", 1, "per-pair host reference requested")
+        return plan("host", 1, "per-pair host reference requested")
     if requested == "batch":
-        return CountPlan("batch", 1, "serial batch engine requested")
+        return plan("batch", 1, "serial batch engine requested")
     if requested == "sharded":
-        return CountPlan("sharded", n_workers, "out-of-core sharded pipeline requested")
+        return plan("sharded", n_workers, "out-of-core sharded pipeline requested")
     if requested == "parallel":
         if n_workers < 2:
-            return CountPlan("batch", 1, "parallel requested but only one worker available")
+            return plan("batch", 1, "parallel requested but only one worker available")
         if features.n_sets < min_sets:
-            return CountPlan(
+            return plan(
                 "batch", 1,
                 f"parallel requested but {features.n_sets} sets is below the "
                 f"pool pay-off floor ({min_sets})",
             )
-        return CountPlan("parallel", n_workers, "parallel requested")
+        return plan("parallel", n_workers, "parallel requested")
 
     # --- auto policy ---------------------------------------------------- #
     if not features.byte_entries or features.r0 < 4:
-        return CountPlan(
+        return plan(
             "host", 1,
             "entries are not byte-packable or ranges are sub-word; only the "
             "per-pair reference is exact",
         )
     if memory_budget is not None and features.packed_bytes > memory_budget:
-        return CountPlan(
+        return plan(
             "sharded", n_workers,
             f"packed buffer ({features.packed_bytes} B) exceeds the "
             f"resident-set budget ({memory_budget} B)",
         )
     if n_pairs is not None and n_pairs <= HOST_MAX_PAIRS:
         if features.cached_engine:
-            return CountPlan("batch", 1,
-                             "point query on an already-built batch engine")
-        return CountPlan(
+            return plan("batch", 1,
+                        "point query on an already-built batch engine")
+        return plan(
             "host", 1,
             f"{n_pairs} pair(s) never amortise gathering the packed buffer",
         )
     if n_workers < 2:
-        return CountPlan("batch", 1, "single worker available")
+        return plan("batch", 1, "single worker available")
     if features.n_sets < min_sets:
-        return CountPlan(
+        return plan(
             "batch", 1,
             f"{features.n_sets} sets is below the pool pay-off floor ({min_sets})",
         )
     if features.n_shards >= SHARD_FANOUT_MIN:
         rectangles = features.n_shards * (features.n_shards + 1) // 2
-        return CountPlan(
+        return plan(
             "parallel", n_workers,
             f"{features.n_shards} shards amplify to {rectangles} shard-pair "
             "rectangles; the pool overlaps per-rectangle attach latency "
             "regardless of class width",
         )
     if features.mean_words >= WIDE_WORDS_PER_SET:
-        return CountPlan(
+        return plan(
             "batch", 1,
             f"wide-class heavy (mean {features.mean_words:.0f} words/set): the "
             "SWAR pass is memory-bound, a pool adds contention not bandwidth",
         )
-    return CountPlan("parallel", n_workers,
-                     f"{features.n_sets} sets across {n_workers} workers")
+    return plan("parallel", n_workers,
+                f"{features.n_sets} sets across {n_workers} workers")
 
 
 # --------------------------------------------------------------------------- #

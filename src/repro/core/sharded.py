@@ -110,30 +110,38 @@ SUPPORTED_SPILL_VERSIONS = (1, 2, 3)
 
 
 def fixed_resident_bytes(universe_size: int, n_sets: int,
-                         *, lazy_family: bool = False) -> int:
+                         *, lazy_family: bool = False,
+                         result_format: str = "dense") -> int:
     """Resident bytes no amount of sharding can remove.
 
     The eager hash family stores three permutations with their inverses
-    (six ``int64`` arrays over the universe), and the all-pairs result is a
-    dense ``int64`` ``n x n`` matrix.  Both are needed by the in-memory and
-    the out-of-core paths alike; the configured memory budget must cover
-    them *plus* the shardable state.  An extensible (lazy) family derives
-    per-item parameters on demand, so its O(universe) term vanishes.
+    (six ``int64`` arrays over the universe), and — in the legacy dense
+    result format — the all-pairs result is a resident ``int64`` ``n x n``
+    matrix.  An extensible (lazy) family derives per-item parameters on
+    demand, so its O(universe) term vanishes; a ``"sparse"`` (or top-k)
+    :class:`~repro.core.results.CountResult` keeps only the surviving
+    nonzeros resident, so its O(n^2) term vanishes too — which is what lets
+    a workload whose dense matrix alone exceeds the budget run end to end.
     """
     family_bytes = 0 if lazy_family else 48 * universe_size
-    return family_bytes + 8 * n_sets * n_sets
+    result_bytes = 8 * n_sets * n_sets if result_format == "dense" else 0
+    return family_bytes + result_bytes
 
 
 def working_budget(memory_budget: int, universe_size: int, n_sets: int,
-                   *, lazy_family: bool = False) -> int:
+                   *, lazy_family: bool = False,
+                   result_format: str = "dense") -> int:
     """Budget left for shardable state after the fixed residents.
 
     Raises ``ValueError`` with the full accounting when the fixed residents
     leave less than :data:`MIN_WORKING_BUDGET` — a budget that cannot hold
     the hash family and the result matrix cannot hold any pipeline.
+    ``result_format="sparse"`` drops the dense-matrix term from the fixed
+    residents (see :func:`fixed_resident_bytes`).
     """
     require_positive(memory_budget, "memory_budget")
-    fixed = fixed_resident_bytes(universe_size, n_sets, lazy_family=lazy_family)
+    fixed = fixed_resident_bytes(universe_size, n_sets, lazy_family=lazy_family,
+                                 result_format=result_format)
     available = memory_budget - fixed
     if available < MIN_WORKING_BUDGET:
         raise ValueError(
@@ -822,6 +830,7 @@ class ShardedCollection:
         build_compute: str = "auto",
         build_workers: int | None = None,
         max_sets_per_shard: int | None = None,
+        result_format: str = "dense",
     ) -> "ShardedCollection":
         """Shard, build and spill an in-memory list of sets.
 
@@ -856,7 +865,8 @@ class ShardedCollection:
         packed = set_packed_bytes(sizes, range_universe, config)
         available = working_budget(
             memory_budget, universe_size, len(sets),
-            lazy_family=isinstance(family, ExtensibleHashFamily))
+            lazy_family=isinstance(family, ExtensibleHashFamily),
+            result_format=result_format)
         ranges = plan_shard_ranges(packed, available,
                                    max_sets_per_shard=max_sets_per_shard)
         r0 = int(min(

@@ -85,13 +85,12 @@ def _membership_matrix(sets: list[np.ndarray], elements: np.ndarray) -> np.ndarr
     return out
 
 
-def _repair_cross_product(
-    product: np.ndarray,
+def _iter_repair_increments(
     collection: BatmapCollection,
     a: SparseBooleanMatrix,
     b: SparseBooleanMatrix,
-) -> np.ndarray:
-    """Add back the witnesses lost to failed cuckoo insertions (exact repair).
+):
+    """Yield one boolean increment mask per failed element that matters.
 
     A failed insertion of inner-dimension element ``k`` into the batmap of a
     row/column set means every cross pair containing that set undercounts
@@ -107,15 +106,14 @@ def _repair_cross_product(
     """
     failures = collection.failed_insertions()
     if not failures:
-        return product
+        return
     failed_elements = np.array(sorted(failures), dtype=np.int64)
     row_has = _membership_matrix(list(a.rows), failed_elements)
     col_has = _membership_matrix(b.column_sets(), failed_elements)
     # Short-circuit: a repair contribution needs the element on *both* sides.
     active = row_has.any(axis=0) & col_has.any(axis=0)
     if not active.any():
-        return product
-    product = product.copy()
+        return
     n_rows = a.n_rows
     for f_idx in np.nonzero(active)[0].tolist():
         owners = np.asarray(failures[int(failed_elements[f_idx])], dtype=np.int64)
@@ -123,12 +121,45 @@ def _repair_cross_product(
         row_owner[owners[owners < n_rows]] = True
         col_owner = np.zeros(b.n_cols, dtype=bool)
         col_owner[owners[owners >= n_rows] - n_rows] = True
-        increment = (
+        yield (
             (row_has[:, f_idx][:, None] & col_has[:, f_idx][None, :])
             & (row_owner[:, None] | col_owner[None, :])
         )
-        product += increment.astype(np.int64)
-    return product
+
+
+def _repair_cross_product(
+    product: np.ndarray,
+    collection: BatmapCollection,
+    a: SparseBooleanMatrix,
+    b: SparseBooleanMatrix,
+) -> np.ndarray:
+    """Add back the witnesses lost to failed cuckoo insertions (exact repair)."""
+    out = None
+    for increment in _iter_repair_increments(collection, a, b):
+        if out is None:
+            out = product.copy()
+        out += increment.astype(np.int64)
+    return product if out is None else out
+
+
+def _repair_cross_result(
+    result,
+    collection: BatmapCollection,
+    a: SparseBooleanMatrix,
+    b: SparseBooleanMatrix,
+):
+    """Fold the failed-insertion repair into a sparse cross result as COO entries."""
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    for increment in _iter_repair_increments(collection, a, b):
+        r, c = np.nonzero(increment)
+        rows.append(r)
+        cols.append(c)
+    if not rows:
+        return result
+    r = np.concatenate(rows)
+    c = np.concatenate(cols)
+    return result.add_entries(r, c, np.ones(r.size, dtype=np.int64))
 
 
 def multiply_batmap(
@@ -141,6 +172,8 @@ def multiply_batmap(
     workers: int | None = None,
     build_compute: str = "auto",
     build_workers: int | None = None,
+    result_format: str = "dense",
+    min_support: int = 0,
 ) -> np.ndarray:
     """Witness-count product using host-side batmap comparisons.
 
@@ -158,10 +191,23 @@ def multiply_batmap(
     the row/column batmaps (:func:`~repro.core.plan.plan_build`): the bulk
     engines build the whole collection with vectorized round-based cuckoo
     placement instead of one element at a time.
+
+    ``result_format="sparse"`` returns a non-symmetric
+    :class:`~repro.core.results.SparseCountResult` over the product's
+    coordinates instead of the dense ndarray; a positive ``min_support``
+    (only meaningful with sparse) prunes cross tiles whose set-size bounds
+    cannot reach the threshold before any SWAR work.  Witness repair is
+    folded in as COO entries, so the pruning contract matches the miner's:
+    entries at or above ``min_support`` are exact.
     """
     _check_shapes(a, b)
     require(compute in ("auto", "host", "batch", "parallel"),
             f"compute must be 'auto', 'host', 'batch' or 'parallel', got {compute!r}")
+    require(result_format in ("dense", "sparse"),
+            f"result_format must be 'dense' or 'sparse', got {result_format!r}")
+    require(min_support == 0 or result_format == "sparse",
+            "min_support pruning needs result_format='sparse' "
+            "(the dense product is the unpruned oracle)")
     universe = a.n_cols
     sets = list(a.rows) + b.column_sets()
     collection = BatmapCollection.build(sets, universe, config=config, rng=rng,
@@ -170,6 +216,28 @@ def multiply_batmap(
     rows_idx = np.arange(a.n_rows)
     cols_idx = a.n_rows + np.arange(b.n_cols)
     byte_packable = collection.r0 >= 4 and config.entry_storage_bits == 8
+    if result_format == "sparse":
+        if byte_packable:
+            # The pruned streaming path (serial batch engine: the executor
+            # has no rectangular sparse shape, and the point of sparse here
+            # is the result footprint, not the counting wall clock).
+            result = collection.batch_counter().count_cross_result(
+                rows_idx, cols_idx, min_support=min_support)
+        else:
+            from repro.core.results import SparseAccumulator
+
+            acc = SparseAccumulator(a.n_rows, b.n_cols, symmetric=False,
+                                    min_support=min_support)
+            block = np.empty((1, b.n_cols), dtype=np.int64)
+            for i in range(a.n_rows):
+                bm_i = collection.batmap(int(rows_idx[i]))
+                for j in range(b.n_cols):
+                    block[0, j] = count_common(
+                        bm_i, collection.batmap(int(cols_idx[j])))
+                acc.add_block(rows_idx[i:i + 1], np.arange(b.n_cols), block)
+            acc.tiles_total = a.n_rows
+            result = acc.finalize()
+        return _repair_cross_result(result, collection, a, b)
     plan = plan_counts(collection, requested=compute, workers=workers,
                        n_pairs=a.n_rows * b.n_cols)
     if plan.backend == "parallel" and byte_packable:

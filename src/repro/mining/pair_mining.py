@@ -24,13 +24,14 @@ import numpy as np
 
 from repro.core.config import BatmapConfig, DEFAULT_CONFIG
 from repro.core.intersection import count_common
-from repro.core.plan import plan_counts
+from repro.core.plan import PlanFeatures, plan_counts, resolve_result_format
 from repro.datasets.streaming import collect_transactions
 from repro.datasets.transactions import TransactionDatabase
 from repro.gpu.device import DeviceSpec, GTX_285
 from repro.kernels.driver import run_batmap_pair_counts
 from repro.mining.postprocess import (
     reorder_counts,
+    repair_count_result,
     repair_pair_counts,
     repair_pair_counts_from_failures,
 )
@@ -108,6 +109,14 @@ class BatmapPairMiner:
     build_workers:
         Worker processes for ``build_compute="parallel"``; ``None``
         auto-selects (and falls back to ``workers``).
+    result_format:
+        Shape of the count results: ``"dense"`` (default — the legacy
+        ``(n, n)`` matrix, byte-identical to every previous release),
+        ``"sparse"`` (COO upper triangle; with the mining ``min_support``
+        pushed into the engines as a tile-pruning floor), or ``"auto"``
+        (sparse only when the dense matrix would not fit the run's memory
+        budget — in-memory :meth:`mine` has no budget, so auto stays
+        dense there).
     """
 
     device: DeviceSpec = GTX_285
@@ -118,6 +127,7 @@ class BatmapPairMiner:
     workers: int | None = None
     build_compute: str = "auto"
     build_workers: int | None = None
+    result_format: str = "dense"
 
     def mine(
         self,
@@ -126,8 +136,15 @@ class BatmapPairMiner:
         min_support: int = 1,
         rng: RngLike = None,
         filter_items: bool = True,
+        result_format: str | None = None,
     ) -> MiningReport:
-        """Compute the support of every item pair; return results plus phase timings."""
+        """Compute the support of every item pair; return results plus phase timings.
+
+        ``result_format`` overrides the miner-level default for this call.
+        The sparse path threads ``min_support`` into the counting engines as
+        a tile-pruning floor; ``frequent_pairs(min_support)`` on the result
+        is exact (bit-identical to the dense pipeline filtered afterwards).
+        """
         require(min_support >= 1, f"min_support must be >= 1, got {min_support}")
         require(self.compute in ("device", "host", "parallel", "auto"),
                 f"compute must be 'device', 'host', 'parallel' or 'auto', "
@@ -149,14 +166,24 @@ class BatmapPairMiner:
                                else self.workers),
             )
 
+        requested_format = (result_format if result_format is not None
+                            else self.result_format)
+        # In-memory mining has no spill budget, so "auto" resolves dense —
+        # the byte-identical legacy pipeline.
+        fmt = resolve_result_format(requested_format, len(pre.collection), None)
+        # The mining min_support rides on the plan features: the planner and
+        # the engines see the pruning floor the postprocess will apply.
+        features = PlanFeatures.from_collection(
+            pre.collection, result_format=fmt, min_support=min_support)
+
         backend = self.compute
         if self.compute == "auto":
             # The planner returns "host" only for layouts the packed engines
             # cannot represent (the miner never asks for point queries).
-            backend = plan_counts(pre.collection, workers=self.workers).backend
+            backend = plan_counts(features, workers=self.workers).backend
         elif self.compute == "parallel":
             # Small inputs are not worth a pool — drop to the batch engine.
-            backend = plan_counts(pre.collection, requested="parallel",
+            backend = plan_counts(features, requested="parallel",
                                   workers=self.workers).backend
         elif self.compute == "host":
             backend = "batch"
@@ -168,23 +195,36 @@ class BatmapPairMiner:
                 and pre.collection.config.entry_storage_bits != 8):
             backend = "host"
 
+        sparse_result = None   # CountResult in original index order
+        counts_sorted = None
+        result = None
         if backend == "parallel":
             # Real multiprocess counting phase, wall-clock timed end to end
             # (shared segment + pool startup included).
             with timers.time("count"):
                 with ParallelPairCounter(pre.collection, workers=self.workers) as counter:
-                    counts_sorted = counter.counts_sorted()
-            result = None
+                    if fmt == "sparse":
+                        sparse_result = counter.count_result(
+                            result_format="sparse", min_support=min_support)
+                    else:
+                        counts_sorted = counter.counts_sorted()
         elif backend == "host":
             # Per-pair reference loop (exact for every payload width).
             with timers.time("count"):
-                counts_sorted = _host_counts_sorted(pre.collection)
-            result = None
+                if fmt == "sparse":
+                    sparse_result = pre.collection.count_result(
+                        compute="host", result_format="sparse",
+                        min_support=min_support)
+                else:
+                    counts_sorted = _host_counts_sorted(pre.collection)
         elif backend == "batch":
             # Host counting phase: the vectorised batch engine, wall-clock timed.
             with timers.time("count"):
-                counts_sorted = pre.collection.batch_counter().counts_sorted()
-            result = None
+                if fmt == "sparse":
+                    sparse_result = pre.collection.batch_counter().count_result(
+                        result_format="sparse", min_support=min_support)
+                else:
+                    counts_sorted = pre.collection.batch_counter().counts_sorted()
         else:
             backend = "kernel"
             # Device phase (timed by the simulator's analytic model, not wall clock).
@@ -193,12 +233,22 @@ class BatmapPairMiner:
                 device=self.device,
                 tile_size=self.tile_size,
                 work_group=self.work_group,
+                result_format=fmt,
+                min_support=min_support if fmt == "sparse" else 0,
             )
             counts_sorted = result.counts
+            sparse_result = result.result
 
         with timers.time("postprocess"):
-            counts = reorder_counts(counts_sorted, pre.collection)
-            counts = repair_pair_counts(counts, pre.collection, pre.database)
+            if sparse_result is not None:
+                # The engines already mapped slots to original ids; repair
+                # folds the failed-insertion increments in as COO entries.
+                counts = repair_count_result(
+                    sparse_result, pre.failed_insertions(),
+                    pre.database.transactions)
+            else:
+                counts = reorder_counts(counts_sorted, pre.collection)
+                counts = repair_pair_counts(counts, pre.collection, pre.database)
             supports = PairSupports(counts=counts, item_ids=pre.item_map)
 
         n_failed = sum(len(v) for v in pre.failed_insertions().values())
@@ -228,6 +278,7 @@ class BatmapPairMiner:
         memory_budget=None,
         spill_dir=None,
         max_transactions: int | None = None,
+        result_format: str | None = None,
     ) -> MiningReport:
         """Mine frequent pairs out-of-core from a FIMI stream on disk.
 
@@ -243,6 +294,14 @@ class BatmapPairMiner:
         leaves it behind for re-attach); by default a temporary directory
         is used and removed when mining finishes.  ``compute="device"`` is
         rejected — the simulated device models an in-memory buffer.
+
+        ``result_format`` (default: the miner field) controls the count
+        result shape.  ``"auto"`` compares the dense matrix footprint
+        (``n**2 * 8`` bytes) against ``memory_budget`` once the kept item
+        count is known and demotes to sparse when it would not fit — the
+        path that lets workloads whose *result* outgrows the budget finish.
+        The sparse path prunes shard-pair tiles against the exact item
+        supports gathered during preprocessing.
         """
         require(min_support >= 1, f"min_support must be >= 1, got {min_support}")
         require(self.compute in ("host", "parallel", "auto"),
@@ -270,6 +329,8 @@ class BatmapPairMiner:
                                    if self.build_workers is not None
                                    else self.workers),
                     max_transactions=max_transactions,
+                    result_format=(result_format if result_format is not None
+                                   else self.result_format),
                 )
             from repro.parallel.sharded import ShardedPairCounter
 
@@ -278,9 +339,18 @@ class BatmapPairMiner:
                 compute=self.compute,
                 workers=self.workers,
                 memory_budget=budget,
+                result_format=pre.result_format,
+                min_support=min_support if pre.result_format == "sparse" else 0,
             )
             with timers.time("count"):
-                counts = counter.counts()
+                if counter.result_format == "sparse":
+                    # Exact per-item supports (known from the streaming pass)
+                    # bound every pair's post-repair support — the tightest
+                    # sound tile-pruning input.
+                    counts = counter.count_result(
+                        bounds=pre.item_support_bounds)
+                else:
+                    counts = counter.counts()
 
             with timers.time("postprocess"):
                 failures = pre.failed_insertions()
@@ -293,8 +363,11 @@ class BatmapPairMiner:
                     for tid, items in raw.items():
                         mapped = remap[items]
                         transactions[tid] = np.sort(mapped[mapped >= 0])
-                    counts = repair_pair_counts_from_failures(
-                        counts, failures, transactions)
+                    if counter.result_format == "sparse":
+                        counts = repair_count_result(counts, failures, transactions)
+                    else:
+                        counts = repair_pair_counts_from_failures(
+                            counts, failures, transactions)
                 supports = PairSupports(counts=counts, item_ids=pre.item_map)
 
             n_failed = sum(len(v) for v in failures.values())

@@ -22,6 +22,8 @@ from repro.datasets.transactions import TransactionDatabase
 __all__ = [
     "repair_pair_counts",
     "repair_pair_counts_from_failures",
+    "repair_increments",
+    "repair_count_result",
     "reorder_counts",
     "upper_triangle_pairs",
 ]
@@ -95,6 +97,63 @@ def repair_pair_counts_from_failures(
         for a in failed_set:
             repaired[a, a] += 1
     return repaired
+
+
+def repair_increments(failures: dict, transactions):
+    """Failed-insertion repair as COO increments instead of matrix scatters.
+
+    The same pair walk as :func:`repair_pair_counts_from_failures`, but the
+    ``+1`` contributions are returned as upper-triangle ``(rows, cols,
+    values)`` triplets (``rows <= cols``, diagonal included) so they can be
+    folded into a :class:`~repro.core.results.SparseCountResult` without
+    ever materialising the dense matrix.  Summing duplicates is the
+    consumer's job (``add_entries`` coalesces).
+    """
+    rows: list[int] = []
+    cols: list[int] = []
+    for b, failed_items in failures.items():
+        transaction = transactions[b]
+        failed_set = set(int(a) for a in failed_items)
+        items = (transaction.tolist() if isinstance(transaction, np.ndarray)
+                 else list(transaction))
+        for ai in range(len(items)):
+            a = items[ai]
+            for ci in range(ai + 1, len(items)):
+                c = items[ci]
+                if a in failed_set or c in failed_set:
+                    rows.append(min(a, c))
+                    cols.append(max(a, c))
+        for a in failed_set:
+            rows.append(a)
+            cols.append(a)
+    return (np.asarray(rows, dtype=np.int64),
+            np.asarray(cols, dtype=np.int64),
+            np.ones(len(rows), dtype=np.int64))
+
+
+def repair_count_result(result, failures: dict, transactions):
+    """Apply the failed-insertion repair to any :class:`CountResult`.
+
+    Dense results route through the (oracle) matrix loop; sparse results
+    fold :func:`repair_increments` in as COO entries.  Repair only ever
+    *adds* support, and a tile skipped during counting had a bound that
+    already covered the repaired support — so the pruning contract
+    (``frequent_pairs`` exact at or above the floor) survives repair.
+    """
+    from repro.core.results import DenseCountResult, SparseCountResult
+
+    if not failures:
+        return result
+    if isinstance(result, SparseCountResult):
+        rows, cols, values = repair_increments(failures, transactions)
+        return result.add_entries(rows, cols, values)
+    if isinstance(result, DenseCountResult):
+        result.counts = repair_pair_counts_from_failures(
+            result.counts, failures, transactions)
+        return result
+    raise TypeError(
+        f"cannot repair a {type(result).__name__}: top-k results must be "
+        "derived after repair (rank order may change)")
 
 
 def upper_triangle_pairs(counts: np.ndarray, min_support: int) -> dict[tuple[int, int], int]:

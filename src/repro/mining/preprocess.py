@@ -152,10 +152,23 @@ class StreamedPreprocessedData:
     item_map: np.ndarray                   #: new item id -> original item id
     min_support: int
     max_transactions: int | None = None
+    #: the resolved counting result format ("dense" or "sparse"); "auto"
+    #: requests are settled during preprocessing, where the kept-item count
+    #: and the budget first meet
+    result_format: str = "dense"
 
     @property
     def n_items(self) -> int:
         return len(self.collection)
+
+    @property
+    def item_support_bounds(self) -> np.ndarray:
+        """Exact per-item set sizes (tidlist lengths), by *physical* set id.
+
+        The tightest sound tile-pruning bound: an item's support bounds its
+        pair supports, repair included.
+        """
+        return np.asarray(self.stats.item_supports, dtype=np.int64)[self.item_map]
 
     @property
     def universe_size(self) -> int:
@@ -186,6 +199,7 @@ def preprocess_streaming(
     chunk_transactions: int | None = None,
     chunk_items: int | None = None,
     max_transactions: int | None = None,
+    result_format: str = "dense",
 ) -> StreamedPreprocessedData:
     """Out-of-core preprocessing: three bounded-memory passes over the stream.
 
@@ -264,10 +278,20 @@ def preprocess_streaming(
         shift = config.shift_for_universe(universe)
         family = HashFamily.create(universe, shift=shift, rng=rng)
     range_universe = family.range_universe
-    # The budget must also hold the fixed residents (hash family, result
-    # matrix); only what is left governs shard sizing and chunking.
+    # The budget must also hold the fixed residents (hash family, and — for
+    # the dense result format only — the n x n count matrix); what is left
+    # governs shard sizing and chunking.  A sparse result keeps just the
+    # surviving nonzeros resident, so instances whose dense matrix alone
+    # exceeds the budget still preprocess under it.  "auto" resolves here,
+    # where the kept-item count is first known; the resolved format travels
+    # on the returned data so counting uses the same decision.
+    from repro.core.plan import resolve_result_format
+
+    result_format = resolve_result_format(result_format, int(kept.size),
+                                          memory_budget)
     available = working_budget(memory_budget, universe, int(kept.size),
-                               lazy_family=family_kind == "lazy")
+                               lazy_family=family_kind == "lazy",
+                               result_format=result_format)
     if auto_chunk:
         chunk_transactions = int(min(DEFAULT_CHUNK_TRANSACTIONS,
                                      max(64, available // (4 * 600))))
@@ -350,4 +374,5 @@ def preprocess_streaming(
         item_map=kept,
         min_support=min_support,
         max_transactions=max_transactions,
+        result_format=result_format,
     )

@@ -15,30 +15,79 @@ __all__ = ["PairSupports", "MiningReport"]
 class PairSupports:
     """Supports of item pairs, indexed by original item ids.
 
-    ``counts[i, j]`` is the support of the pair ``{i, j}`` (symmetric); the
-    diagonal holds single-item supports.  Convenience accessors expose the
-    thresholded pair dictionary, top-k queries and comparisons with reference
-    results.
+    ``counts`` is either the legacy dense matrix — ``counts[i, j]`` is the
+    support of the pair ``{i, j}`` (symmetric), the diagonal holds
+    single-item supports — or any square symmetric
+    :class:`~repro.core.results.CountResult` (the sparse/pruned shapes the
+    engines now produce).  Convenience accessors expose the thresholded
+    pair dictionary, top-k queries and comparisons with reference results;
+    all of them work off the triplet interface, so a sparse result never
+    materialises its dense matrix here.
     """
 
-    counts: np.ndarray
-    item_ids: np.ndarray  #: original item id of each row/column
+    counts: object            #: dense ndarray or a square CountResult
+    item_ids: np.ndarray      #: original item id of each row/column
 
     def __post_init__(self) -> None:
-        if self.counts.ndim != 2 or self.counts.shape[0] != self.counts.shape[1]:
+        from repro.core.results import CountResult
+
+        if isinstance(self.counts, CountResult):
+            if not self.counts.symmetric:
+                raise ValueError("pair supports need a symmetric result")
+        elif self.counts.ndim != 2 or self.counts.shape[0] != self.counts.shape[1]:
             raise ValueError("counts must be a square matrix")
-        if self.item_ids.shape != (self.counts.shape[0],):
+        if self.item_ids.shape != (self.n_items,):
             raise ValueError("item_ids length must match the count matrix")
 
     @property
+    def result(self):
+        """The counts as a :class:`~repro.core.results.CountResult` view."""
+        from repro.core.results import as_count_result
+
+        return as_count_result(self.counts)
+
+    @property
+    def pruned_floor(self) -> int:
+        """The ``min_support`` the counts were pruned under (0 = exact)."""
+        from repro.core.results import CountResult
+
+        if isinstance(self.counts, CountResult):
+            return self.counts.min_support
+        return 0
+
+    @property
     def n_items(self) -> int:
+        from repro.core.results import CountResult
+
+        if isinstance(self.counts, CountResult):
+            return self.counts.n_sets
         return int(self.counts.shape[0])
 
     def support(self, i: int, j: int) -> int:
-        """Support of the pair of *original* item ids ``{i, j}`` (or of item ``i`` if i == j)."""
+        """Support of the pair of *original* item ids ``{i, j}`` (or of item ``i`` if i == j).
+
+        For a pruned sparse result, pairs whose tiles were skipped report
+        their partial (possibly zero) stored value — exact answers below
+        the pruning floor require a dense or unpruned result.
+        """
+        from repro.core.results import CountResult, SparseCountResult
+
         a = self._local(i)
         b = self._local(j)
+        if isinstance(self.counts, SparseCountResult):
+            return self._sparse_lookup(min(a, b), max(a, b))
+        if isinstance(self.counts, CountResult):
+            return int(self.counts.matrix()[a, b])
         return int(self.counts[a, b])
+
+    def _sparse_lookup(self, a: int, b: int) -> int:
+        rows, cols = self.counts.rows, self.counts.cols
+        lo = int(np.searchsorted(rows, a, side="left"))
+        hi = int(np.searchsorted(rows, a, side="right"))
+        pos = lo + int(np.searchsorted(cols[lo:hi], b, side="left"))
+        if pos < hi and cols[pos] == b:
+            return int(self.counts.values[pos])
+        return 0
 
     def _local(self, original_id: int) -> int:
         hits = np.nonzero(self.item_ids == original_id)[0]
@@ -47,12 +96,23 @@ class PairSupports:
         return int(hits[0])
 
     def frequent_pairs(self, min_support: int) -> dict[tuple[int, int], int]:
-        """All pairs (original ids, i < j) with support >= min_support."""
-        iu, ju = np.triu_indices(self.n_items, k=1)
-        values = self.counts[iu, ju]
-        keep = values >= min_support
+        """All pairs (original ids, i < j) with support >= min_support.
+
+        Exact for any threshold at or above the counts' pruning floor; a
+        sparse result pruned at a higher floor refuses the filter (the
+        skipped tiles would make the answer silently wrong).
+        """
+        from repro.core.results import CountResult
+
+        if isinstance(self.counts, CountResult):
+            iu, ju, values = self.counts.frequent_pairs(max(1, min_support))
+        else:
+            iu, ju = np.triu_indices(self.n_items, k=1)
+            values = self.counts[iu, ju]
+            keep = values >= min_support
+            iu, ju, values = iu[keep], ju[keep], values[keep]
         out: dict[tuple[int, int], int] = {}
-        for a, b, v in zip(iu[keep], ju[keep], values[keep]):
+        for a, b, v in zip(iu, ju, values):
             i = int(self.item_ids[a])
             j = int(self.item_ids[b])
             key = (i, j) if i < j else (j, i)
@@ -60,8 +120,12 @@ class PairSupports:
         return out
 
     def top_k(self, k: int) -> list[tuple[tuple[int, int], int]]:
-        """The ``k`` most supported pairs, descending by support (ties by item ids)."""
-        pairs = self.frequent_pairs(1)
+        """The ``k`` most supported pairs, descending by support (ties by item ids).
+
+        A pruned result ranks only pairs at or above its floor — identical
+        to the dense ranking truncated to that support range.
+        """
+        pairs = self.frequent_pairs(max(1, self.pruned_floor))
         ranked = sorted(pairs.items(), key=lambda kv: (-kv[1], kv[0]))
         return ranked[:k]
 

@@ -50,6 +50,7 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from repro.core.batch import DEFAULT_BLOCK_WORDS, BatchPairCounter, WidthClassIndex
+from repro.core.results import DenseCountResult, SparseAccumulator, TopKAccumulator
 from repro.kernels.tiling import TileScheduler
 from repro.parallel.scaling import ScalingPoint, merge_part_counts
 from repro.utils.validation import require, require_positive
@@ -379,6 +380,99 @@ class ParallelPairCounter:
         out = np.empty_like(self.counts_sorted())
         out[np.ix_(order, order)] = self.counts_sorted()
         return out
+
+    def slot_bounds(self) -> np.ndarray:
+        """Per-slot count upper bounds from exact set sizes (width-sorted order).
+
+        Same bound as :meth:`BatchPairCounter.slot_bounds`: ``Batmap.set_size``
+        counts stored and failed insertions, so it also bounds the post-repair
+        support — tile skipping stays sound under the miner's ``min_support``.
+        """
+        return np.array([bm.set_size for bm in self.collection.batmaps_sorted],
+                        dtype=np.int64)
+
+    def count_result(
+        self,
+        *,
+        result_format: str = "dense",
+        min_support: int = 0,
+        top_k=None,
+        bounds=None,
+    ):
+        """All-pairs counts as a :class:`~repro.core.results.CountResult`.
+
+        The pruning happens on the *parent* side, before fan-out: every
+        upper-triangle tile whose count upper bound (from ``bounds``, default
+        :meth:`slot_bounds`) falls below the threshold is never submitted to
+        the pool, so skipped tiles cost neither a pickle round-trip nor any
+        SWAR work.  Surviving tile blocks are reduced into a COO accumulator
+        (or a top-k heap) instead of being scattered into a dense matrix, so
+        the parent's resident result stays proportional to the nonzeros.
+        Counts are bit-identical to :meth:`BatchPairCounter.count_result`.
+        """
+        require(result_format in ("dense", "sparse"),
+                f"result_format must be 'dense' or 'sparse', got {result_format!r}")
+        require(min_support >= 0, f"min_support must be >= 0, got {min_support}")
+        if top_k is None and result_format == "dense":
+            return DenseCountResult(self.count_all_pairs())
+        if top_k is not None:
+            require_positive(top_k, "top_k")
+        order = self.collection.order
+        n = len(self.collection)
+        bounds = (self.slot_bounds() if bounds is None
+                  else np.asarray(bounds, dtype=np.int64))
+        edge = self._tile_edge(n)
+        # The heap floor is unknown before any tile returns, so parallel
+        # submission prunes against the static min_support bound only; the
+        # running floor still filters entries at reduce time below.
+        floor = max(1, min_support) if top_k is not None else min_support
+        tasks = []
+        skipped = 0
+        tiles_total = 0
+        for t in TileScheduler(n, edge):
+            tiles_total += 1
+            if floor > 0:
+                bound = min(int(bounds[t.row_start:t.row_end].max()),
+                            int(bounds[t.col_start:t.col_end].max()))
+                if bound < floor:
+                    skipped += 1
+                    continue
+            tasks.append((t.p, t.q, t.row_start, t.row_end, t.col_start, t.col_end))
+        stats = {"tiles_total": tiles_total, "tiles_skipped": skipped}
+        merged = self._map_merge(_all_pairs_tile, tasks) if tasks else {}
+
+        def tile_axes(p, q, block):
+            rows = np.arange(p * edge, p * edge + block.shape[0])
+            cols = np.arange(q * edge, q * edge + block.shape[1])
+            if p == q:
+                block = np.where(rows[:, None] <= cols[None, :], block, 0)
+            return rows, cols, block
+
+        if top_k is not None:
+            acc = TopKAccumulator(top_k)
+            for (p, q), block in merged.items():
+                rows, cols, block = tile_axes(p, q, block)
+                fl = max(1, min_support, acc.floor)
+                r_local, c_local = np.nonzero(block >= fl)
+                if r_local.size == 0:
+                    continue
+                oi = order[rows[r_local]]
+                oj = order[cols[c_local]]
+                keep = oi != oj
+                if not keep.any():
+                    continue
+                values = block[r_local, c_local][keep]
+                acc.push(np.minimum(oi[keep], oj[keep]),
+                         np.maximum(oi[keep], oj[keep]), values)
+            return acc.result(n, min_support=min_support, stats=stats,
+                              fill_zeros=min_support <= 1)
+        sparse = SparseAccumulator(n, min_support=min_support)
+        for (p, q), block in merged.items():
+            rows, cols, block = tile_axes(p, q, block)
+            sparse.add_block(order[rows], order[cols], block)
+        sparse.tiles_total = stats["tiles_total"]
+        sparse.tiles_skipped = stats["tiles_skipped"]
+        return sparse.finalize()
 
     def count_pairs(self, pairs) -> np.ndarray:
         """Counts for an explicit list of ``(i, j)`` original-index pairs."""

@@ -25,8 +25,16 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.batch import DEFAULT_BLOCK_WORDS, WidthClassIndex
-from repro.core.plan import PlanFeatures, plan_counts
+from repro.core.batch import (
+    DEFAULT_BLOCK_WORDS,
+    SPARSE_TILE_ENTRIES,
+    WidthClassIndex,
+    sparse_all_pairs,
+    sparse_cross,
+    width_slot_bounds,
+)
+from repro.core.plan import PlanFeatures, plan_counts, resolve_result_format
+from repro.core.results import DenseCountResult, SparseAccumulator, TopKAccumulator
 from repro.kernels.tiling import TileScheduler
 from repro.parallel.executor import DEFAULT_TILE_CAP, resolve_worker_count
 from repro.parallel.scaling import merge_part_counts
@@ -126,18 +134,26 @@ class ShardedPairCounter:
         tile_size=None,
         memory_budget=None,
         mp_context=None,
+        result_format: str = "dense",
+        min_support: int = 0,
     ) -> None:
         require(compute in ("auto", "batch", "host", "parallel"),
                 f"compute must be 'auto', 'batch', 'host' or 'parallel', got {compute!r}")
         require(sharded.n_shards > 0, "cannot count an empty sharded collection")
+        require(min_support >= 0, f"min_support must be >= 0, got {min_support}")
         if tile_size is not None:
             require_positive(tile_size, "tile_size")
         self.sharded = sharded
         self.workers = resolve_worker_count(workers)
         self.tile_size = tile_size
-        if memory_budget is not None:
+        self.result_format = resolve_result_format(
+            result_format, sharded.n_physical_sets, memory_budget)
+        self.min_support = int(min_support)
+        if memory_budget is not None and self.result_format == "dense":
             # The dense result matrix is resident throughout counting; only
-            # the remainder bounds the SWAR temporaries.
+            # the remainder bounds the SWAR temporaries.  A sparse result
+            # keeps only surviving nonzeros, so the full budget stays
+            # available for counting temporaries.
             memory_budget = max(1, memory_budget - 8 * sharded.n_physical_sets ** 2)
         self.block_words = block_words_for_budget(memory_budget)
         self._mp_context = mp_context
@@ -149,6 +165,8 @@ class ShardedPairCounter:
             r0=sharded.r0,
             byte_entries=True,
             n_shards=sharded.n_shards,
+            result_format=self.result_format,
+            min_support=self.min_support,
         )
         self.plan = plan_counts(features, requested=requested, workers=workers)
 
@@ -236,3 +254,204 @@ class ShardedPairCounter:
             out[np.ix_(rows_global, cols_global)] = block
             out[np.ix_(cols_global, rows_global)] = block.T
         return out
+
+    # ------------------------------------------------------------------ #
+    # CountResult-producing queries (sparse / pruned / top-k)
+    # ------------------------------------------------------------------ #
+    def shard_slot_bounds(self, bounds=None) -> list:
+        """Per-shard, slot-indexed count upper bounds (tombstoned slots zeroed).
+
+        ``bounds`` — when the caller knows exact post-repair set sizes (the
+        miner's item supports) — is indexed by *physical* set id; without it
+        the bound falls back to the packed widths plus the per-set failed
+        counts (:func:`~repro.core.batch.width_slot_bounds`), which only
+        needs the mmap'd layout arrays.  Tombstoned slots get a zero bound:
+        their entries are dropped from the result anyway, so zeroing lets
+        whole tiles of deleted sets prune away.
+        """
+        live_pos = self.sharded.live_positions
+        per_shard = []
+        for shard in self.sharded.shards:
+            if bounds is not None:
+                b = np.asarray(bounds, dtype=np.int64)[shard.global_order]
+            else:
+                widths = np.load(shard.directory / "widths.npy")
+                failed_local = np.bincount(
+                    np.asarray(shard.failed, dtype=np.int64).reshape(-1, 2)[:, 1],
+                    minlength=shard.n_sets)
+                b = width_slot_bounds(widths, failed_local[shard.order])
+            b = b.copy()
+            b[live_pos[shard.global_order] < 0] = 0
+            per_shard.append(b)
+        return per_shard
+
+    def count_result(self, *, min_support=None, top_k=None, bounds=None,
+                     tile_entries: int = SPARSE_TILE_ENTRIES):
+        """All-pairs counts as a :class:`~repro.core.results.CountResult`.
+
+        The dense format wraps :meth:`counts` unchanged (the oracle path).
+        Sparse and top-k results never materialise the ``n x n`` matrix:
+        shard-pair rectangles stream through the pruned tile walkers
+        (:func:`~repro.core.batch.sparse_all_pairs` within a shard,
+        :func:`~repro.core.batch.sparse_cross` across shards) serially, or
+        — when the plan says ``parallel`` — tiles below the bound are
+        dropped *before* submission to the pool and surviving blocks reduce
+        straight into the COO/heap accumulator.  Results are expressed in
+        live indices (tombstoned sets dropped), bit-identical to filtering
+        :meth:`counts`.
+        """
+        ms = self.min_support if min_support is None else int(min_support)
+        require(ms >= 0, f"min_support must be >= 0, got {ms}")
+        if top_k is not None:
+            require_positive(top_k, "top_k")
+        if top_k is None and self.result_format == "dense":
+            return DenseCountResult(self.counts())
+        live_pos = self.sharded.live_positions
+        n_live = self.sharded.n_sets
+        shard_bounds = self.shard_slot_bounds(bounds)
+
+        if top_k is not None:
+            acc = TopKAccumulator(top_k)
+
+            def threshold():
+                return max(ms, acc.floor)
+        else:
+            acc = SparseAccumulator(n_live, min_support=ms)
+
+            def threshold():
+                return ms
+
+        def consume_factory(row_order, col_order):
+            """Tile sink mapping slot axes -> physical -> live indices."""
+
+            def consume(rows, cols, block):
+                li = live_pos[row_order[rows]]
+                lj = live_pos[col_order[cols]]
+                keep_r = li >= 0
+                keep_c = lj >= 0
+                if not (keep_r.all() and keep_c.all()):
+                    block = block[np.ix_(keep_r, keep_c)]
+                    li, lj = li[keep_r], lj[keep_c]
+                if top_k is None:
+                    acc.add_block(li, lj, block)
+                    return
+                floor = max(1, ms, acc.floor)
+                r_l, c_l = np.nonzero(block >= floor)
+                if r_l.size == 0:
+                    return
+                oi, oj = li[r_l], lj[c_l]
+                keep = oi != oj
+                if not keep.any():
+                    return
+                acc.push(np.minimum(oi[keep], oj[keep]),
+                         np.maximum(oi[keep], oj[keep]),
+                         block[r_l, c_l][keep])
+
+            return consume
+
+        stats = {"tiles_total": 0, "tiles_skipped": 0}
+        if self.plan.backend == "parallel":
+            self._sparse_parallel(consume_factory, shard_bounds,
+                                  max(1, ms) if top_k is not None else ms, stats)
+        else:
+            self._sparse_serial(consume_factory, shard_bounds, threshold,
+                                tile_entries, stats)
+        if top_k is not None:
+            return acc.result(n_live, min_support=ms, stats=stats,
+                              fill_zeros=ms <= 1)
+        acc.tiles_total = stats["tiles_total"]
+        acc.tiles_skipped = stats["tiles_skipped"]
+        return acc.finalize()
+
+    def _sparse_serial(self, consume_factory, shard_bounds, threshold,
+                       tile_entries, stats) -> None:
+        """Stream shard-pair rectangles through the pruned tile walkers."""
+        shards = self.sharded.shards
+        for p in range(len(shards)):
+            idx_p = self.sharded.attach(p, block_words=self.block_words)
+            go_p = shards[p].global_order
+            part = sparse_all_pairs(
+                idx_p, consume=consume_factory(go_p, go_p),
+                bounds=shard_bounds[p], threshold=threshold,
+                tile_entries=tile_entries)
+            stats["tiles_total"] += part["tiles_total"]
+            stats["tiles_skipped"] += part["tiles_skipped"]
+            for q in range(p + 1, len(shards)):
+                idx_q = self.sharded.attach(q, block_words=self.block_words)
+                part = sparse_cross(
+                    idx_p, idx_q,
+                    consume=consume_factory(go_p, shards[q].global_order),
+                    row_bounds=shard_bounds[p], col_bounds=shard_bounds[q],
+                    threshold=threshold, tile_entries=tile_entries)
+                stats["tiles_total"] += part["tiles_total"]
+                stats["tiles_skipped"] += part["tiles_skipped"]
+                del idx_q
+            del idx_p
+
+    def _sparse_parallel(self, consume_factory, shard_bounds, floor,
+                         stats) -> None:
+        """Fan surviving tiles to the pool; reduce blocks into the sink.
+
+        Pruning happens parent-side against the static ``floor`` (the heap's
+        running floor is unknown before any tile returns), so a skipped tile
+        costs neither a pickle round-trip nor any worker SWAR.
+        """
+        shards = self.sharded.shards
+        edge = self._tile_edge()
+        tasks = []
+
+        def keep(p, q, r_lo, r_hi, c_lo, c_hi) -> bool:
+            stats["tiles_total"] += 1
+            if floor > 0:
+                bound = min(int(shard_bounds[p][r_lo:r_hi].max()),
+                            int(shard_bounds[q][c_lo:c_hi].max()))
+                if bound < floor:
+                    stats["tiles_skipped"] += 1
+                    return False
+            return True
+
+        for p in range(len(shards)):
+            dir_p = shards[p].directory.name
+            for q in range(p, len(shards)):
+                dir_q = shards[q].directory.name
+                if p == q:
+                    for t in TileScheduler(shards[p].n_sets, edge):
+                        if keep(p, q, t.row_start, t.row_end,
+                                t.col_start, t.col_end):
+                            tasks.append((p, q, dir_p, dir_q, t.row_start,
+                                          t.row_end, t.col_start, t.col_end))
+                else:
+                    for r_lo in range(0, shards[p].n_sets, edge):
+                        r_hi = min(r_lo + edge, shards[p].n_sets)
+                        for c_lo in range(0, shards[q].n_sets, edge):
+                            c_hi = min(c_lo + edge, shards[q].n_sets)
+                            if keep(p, q, r_lo, r_hi, c_lo, c_hi):
+                                tasks.append((p, q, dir_p, dir_q,
+                                              r_lo, r_hi, c_lo, c_hi))
+        if not tasks:
+            return
+        ctx = self._mp_context or multiprocessing.get_context()
+        with ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=ctx,
+            initializer=_init_sharded_worker,
+            initargs=(str(self.sharded.spill_dir), self.block_words),
+        ) as pool:
+            futures = [pool.submit(_sharded_tile, *task) for task in tasks]
+            try:
+                parts = [future.result() for future in futures]
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
+        for part in parts:
+            for (p, q, row_lo, col_lo), block in part.items():
+                rows = np.arange(row_lo, row_lo + block.shape[0])
+                cols = np.arange(col_lo, col_lo + block.shape[1])
+                if p == q and row_lo == col_lo:
+                    # diagonal tile of a within-shard rectangle: keep the
+                    # slot-space upper triangle so each unordered pair
+                    # reaches the sink exactly once
+                    block = np.where(rows[:, None] <= cols[None, :], block, 0)
+                consume_factory(shards[p].global_order,
+                                shards[q].global_order)(rows, cols, block)

@@ -60,9 +60,21 @@ class SpillQueryEngine:
     """
 
     def __init__(self, sharded, *, block_words=None,
-                 batmap_cache_sets: int = DEFAULT_BATMAP_CACHE_SETS) -> None:
-        """Attach all shards of ``sharded`` and precompute slot mappings."""
+                 batmap_cache_sets: int = DEFAULT_BATMAP_CACHE_SETS,
+                 result_format: str = "dense") -> None:
+        """Attach all shards of ``sharded`` and precompute slot mappings.
+
+        ``result_format`` selects the top-k serving strategy: ``"dense"``
+        (default) materialises full count rows per query; ``"sparse"``
+        streams shard rectangles through a per-query heap-threshold
+        accumulator, skipping whole rectangles once the heap floor exceeds
+        the target shard's width bound.  Both return identical rankings.
+        """
         require(sharded.n_sets > 0, "cannot serve an empty collection")
+        require(result_format in ("dense", "sparse"),
+                f"result_format must be 'dense' or 'sparse', got {result_format!r}")
+        self.result_format = result_format
+        self._shard_bounds: list | None = None
         self.sharded = sharded
         self.family = sharded.family          # raises on pre-family spills
         self.config = DEFAULT_CONFIG.with_(payload_bits=sharded.payload_bits)
@@ -288,14 +300,19 @@ class SpillQueryEngine:
     def top_k_batch(self, requests) -> list:
         """Answer many ``(set_id, k)`` top-k-similar-set queries at once.
 
-        All query rows are gathered with one :meth:`count_rows` call; each
-        result ranks the other sets by descending intersection count with
-        ties broken by ascending set index (the
-        :meth:`~repro.core.batch.BatchPairCounter.top_k` convention), the
-        queried set itself excluded.
+        With ``result_format="dense"``, all query rows are gathered with one
+        :meth:`count_rows` call; each result ranks the other sets by
+        descending intersection count with ties broken by ascending set
+        index (the :meth:`~repro.core.batch.BatchPairCounter.top_k`
+        convention), the queried set itself excluded.  The ``"sparse"``
+        engine answers the same queries through per-query heap accumulators
+        without ever holding a full count row (identical rankings — the
+        bit-identity tests pin it).
         """
         if not requests:
             return []
+        if self.result_format == "sparse":
+            return self._top_k_batch_sparse(requests)
         set_ids = [int(set_id) for set_id, _ in requests]
         rows = self.count_rows(set_ids)
         results = []
@@ -305,6 +322,86 @@ class SpillQueryEngine:
             limit = min(int(k), self.n_sets - 1)
             ranked = np.lexsort((np.arange(self.n_sets), -row))[:limit]
             results.append([(int(j), int(rows[k_row, j])) for j in ranked])
+        return results
+
+    def _shard_bound(self, q: int) -> int:
+        """Count upper bound over shard ``q``'s live slots (cached).
+
+        ``2 * width + failed`` per slot (:func:`~repro.core.batch.width_slot_bounds`
+        — the layout is the only thing resident for an mmap'd shard), with
+        tombstoned slots zeroed so fully-deleted shards prune outright.
+        """
+        if self._shard_bounds is None:
+            self._shard_bounds = [None] * self.sharded.n_shards
+        if self._shard_bounds[q] is None:
+            from repro.core.batch import width_slot_bounds
+
+            shard = self.sharded.shards[q]
+            failed = None
+            if shard.failed.size:
+                failed = np.bincount(
+                    shard.failed[:, 1].astype(np.int64),
+                    minlength=shard.n_sets)[shard.order]
+            bounds = width_slot_bounds(self._indexes[q].widths, failed)
+            if self._has_tombstones:
+                live = self.sharded.live_positions[shard.global_order]
+                bounds = bounds.copy()
+                bounds[live < 0] = 0
+            self._shard_bounds[q] = int(bounds.max()) if bounds.size else 0
+        return self._shard_bounds[q]
+
+    def _top_k_batch_sparse(self, requests) -> list:
+        """Heap-threshold top-k: stream shard rectangles, prune below floors."""
+        from repro.core.results import TopKAccumulator
+
+        set_ids = self.check_set_ids([int(set_id) for set_id, _ in requests])
+        physical = self._physical(set_ids)
+        row_shards = self.shard_of(physical)
+        live_pos = (self.sharded.live_positions if self._has_tombstones
+                    else None)
+        limits = [min(int(k), self.n_sets - 1) for _, k in requests]
+        accs = [TopKAccumulator(limit) if limit > 0 else None
+                for limit in limits]
+        for p in np.unique(row_shards).tolist():
+            in_shard = [i for i in np.nonzero(row_shards == p)[0].tolist()
+                        if accs[i] is not None]
+            for q in range(self.sharded.n_shards):
+                bound = self._shard_bound(q)
+                # Strict-floor skip, per query: a rectangle whose best
+                # possible count is below a full heap's weakest kept count
+                # cannot change that query's result (ties still examined).
+                needed = [i for i in in_shard if bound >= accs[i].floor]
+                if not needed:
+                    continue
+                slots = self._slot_of(p, physical[needed])
+                block = self._indexes[p].cross_index(self._indexes[q], slots, None)
+                cols_global = self.sharded.shards[q].global_order
+                cols_live = (live_pos[cols_global] if live_pos is not None
+                             else cols_global)
+                alive = cols_live >= 0
+                for bi, i in enumerate(needed):
+                    keep = alive & (cols_live != set_ids[i])
+                    cand = cols_live[keep]
+                    accs[i].push(cand, cand, block[bi][keep])
+        results = []
+        for i, limit in enumerate(limits):
+            if accs[i] is None:
+                results.append([])
+                continue
+            ranked = accs[i].result(self.n_sets, fill_zeros=False).ranked()
+            out = [(int(j), int(v)) for (j, _), v in ranked]
+            if len(out) < limit:
+                # Pad with zero-count sets in ascending live index order —
+                # the same tail a dense sort returns.
+                kept = {j for j, _ in out}
+                kept.add(int(set_ids[i]))
+                for j in range(self.n_sets):
+                    if j in kept:
+                        continue
+                    out.append((j, 0))
+                    if len(out) == limit:
+                        break
+            results.append(out)
         return results
 
     def top_k(self, set_id: int, k: int) -> list:
@@ -352,6 +449,7 @@ class SpillQueryEngine:
             "payload_bits": self.sharded.payload_bits,
             "total_packed_bytes": self.sharded.total_packed_bytes,
             "batmap_cache_sets": self._batmap_cache_sets,
+            "result_format": self.result_format,
         }
 
     @property
